@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 5 (job arrival interval distributions)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.arrivals import render_figure5, run_figure5
+
+
+def test_fig05_arrival_intervals(benchmark):
+    distributions = run_once(benchmark, run_figure5, 400, 42)
+    print()
+    print(render_figure5(distributions))
+
+    by_setting = {d.setting: d for d in distributions}
+    # The paper's interval ranges: heavy [10, 16.8], normal [20, 33.6], light [40, 67.2].
+    assert by_setting["relaxed-heavy"].min_ms >= 10.0
+    assert by_setting["relaxed-heavy"].max_ms <= 16.8
+    assert by_setting["moderate-normal"].min_ms >= 20.0
+    assert by_setting["moderate-normal"].max_ms <= 33.6
+    assert by_setting["strict-light"].min_ms >= 40.0
+    assert by_setting["strict-light"].max_ms <= 67.2

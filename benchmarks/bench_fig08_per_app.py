@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 8 (per-application SLO hit rates and cost
+in each of the three workload settings)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.end_to_end import figure8_rows, render_figure8, run_end_to_end
+from repro.experiments.runner import DEFAULT_POLICIES
+
+
+def test_fig08_per_application_breakdown(benchmark, bench_config):
+    results = run_once(benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config)
+    rows = figure8_rows(results)
+    print()
+    print(render_figure8(rows))
+
+    settings = {r.setting for r in rows}
+    assert settings == {"strict-light", "moderate-normal", "relaxed-heavy"}
+
+    # ESG's per-application hit rate is never far below the per-application best.
+    for setting in settings:
+        for app in {r.app for r in rows if r.setting == setting}:
+            app_rows = {r.policy: r for r in rows if r.setting == setting and r.app == app}
+            if "ESG" not in app_rows:
+                continue
+            best = max(r.slo_hit_rate for r in app_rows.values())
+            assert app_rows["ESG"].slo_hit_rate >= best - 0.25, (setting, app)

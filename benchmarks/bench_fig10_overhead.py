@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 10 (ESG scheduling overhead distribution)
+and the Section 5.3 brute-force comparison."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.overhead import (
+    render_bruteforce_comparison,
+    render_figure10,
+    run_bruteforce_comparison,
+    run_figure10,
+)
+
+
+def test_fig10_esg_scheduling_overhead(benchmark, bench_config):
+    distributions = run_once(
+        benchmark,
+        run_figure10,
+        ("strict-light", "moderate-normal", "relaxed-heavy"),
+        config=bench_config,
+        group_size=3,
+    )
+    print()
+    print(render_figure10(distributions))
+
+    # The per-decision overhead stays in the tens-of-milliseconds range
+    # (the paper reports < 10 ms for its native implementation; the pure
+    # Python search is allowed a looser bound of 50 ms on average).
+    for dist in distributions:
+        assert dist.stats.count > 0
+        assert dist.mean_ms < 50.0, dist.setting
+
+
+def test_section53_bruteforce_comparison(benchmark):
+    comparison = run_once(benchmark, run_bruteforce_comparison)
+    print()
+    print(render_bruteforce_comparison(comparison))
+    # ESG's pruned search finds the same optimum while examining fewer states
+    # and finishing substantially faster than exhaustive enumeration.
+    assert comparison.same_optimum
+    assert comparison.esg_expansions < comparison.bruteforce_examined
+    assert comparison.esg_time_ms < comparison.bruteforce_time_ms / 2

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Tables 1-3 (feature matrix, testbed, functions)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_feature_matrix,
+    table3_functions,
+)
+
+
+def test_table1_feature_matrix(benchmark):
+    rows = run_once(benchmark, table1_feature_matrix)
+    print()
+    print(render_table1())
+    esg_features = sum(
+        1 for r in rows if r.esg
+    )
+    assert esg_features == len(rows), "ESG supports every feature of Table 1"
+
+
+def test_table2_testbed(benchmark):
+    text = run_once(benchmark, render_table2)
+    print()
+    print(text)
+    assert "16" in text and "112" in text
+
+
+def test_table3_functions(benchmark):
+    rows = run_once(benchmark, table3_functions)
+    print()
+    print(render_table3())
+    assert len(rows) == 6
+    by_name = {r.function: r for r in rows}
+    assert by_name["super_resolution"].exec_time_ms == 86.0
+    assert by_name["deblur"].cold_start_ms == 22343.0

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows/series.  The workload size is deliberately smaller than the
+paper's (hundreds of requests) so the whole suite runs in minutes; set the
+``REPRO_BENCH_REQUESTS`` environment variable to scale it up, e.g.::
+
+    REPRO_BENCH_REQUESTS=300 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+#: Default number of requests per simulated run in the benchmarks.
+DEFAULT_BENCH_REQUESTS = 60
+
+
+def bench_requests() -> int:
+    """Number of requests per run (overridable via REPRO_BENCH_REQUESTS)."""
+    return int(os.environ.get("REPRO_BENCH_REQUESTS", DEFAULT_BENCH_REQUESTS))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration shared by all benchmarks."""
+    return ExperimentConfig(num_requests=bench_requests(), seed=42)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

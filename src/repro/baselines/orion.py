@@ -1,0 +1,272 @@
+"""Orion-style scheduling (Mahgoub et al., OSDI 2022), as described in
+Section 4.2 of the ESG paper, extended with vGPU support.
+
+"Its scheduling uses best-first search, which creates a priority queue, in
+which all new states are added. ... we expand its state definition to a
+vector of (batch size, #vCPUs, and #vGPUs), one for each stage.  The
+algorithm examines possible states, with each new state increasing the
+current state in one dimension of the configuration vector, and the start
+state S0 has the minimum values for every stage function.  The scheduling
+method decides the schedule for all the stages of an application at the
+invocation of the first stage; no dynamic adaptation between stages.  As in
+the original work, P95 latency is used as the search goal.  The
+configuration with the closest latency to the SLO is returned when the
+search exceeds a cut-off time (e.g., 100 ms) before reaching the goal."
+
+The search-time cutoff is modelled as an expansion budget
+(``cutoff_ms / per_expansion_ms``) so simulated runs stay fast and the
+cutoff can be swept deterministically for Figure 9; the charged scheduling
+overhead is the corresponding (simulated) search time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.cluster.policy_api import AFWQueue, SchedulingContext, SchedulingDecision, SchedulingPolicy
+from repro.profiles.configuration import Configuration
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Request
+
+__all__ = ["OrionPolicy", "OrionSearchResult"]
+
+
+@dataclass
+class OrionSearchResult:
+    """Outcome of one whole-workflow best-first search."""
+
+    plan: dict[str, Configuration]
+    predicted_latency_ms: float
+    predicted_cost_cents: float
+    expansions: int
+    reached_goal: bool
+    search_time_ms: float
+
+
+class OrionPolicy(SchedulingPolicy):
+    """Best-first joint-configuration search with a static per-request plan."""
+
+    name = "Orion"
+
+    def __init__(
+        self,
+        *,
+        cutoff_ms: float = 100.0,
+        per_expansion_ms: float = 0.05,
+        p95_factor: float = 1.08,
+        count_search_overhead: bool = True,
+        bundling: bool = True,
+    ) -> None:
+        """Create the policy.
+
+        Parameters
+        ----------
+        cutoff_ms:
+            Search-time budget per whole-workflow search (the paper sweeps
+            1 ms - 2000 ms in Figure 9; 100 ms is the default).
+        per_expansion_ms:
+            Simulated cost of examining one state; the expansion budget is
+            ``cutoff_ms / per_expansion_ms``.
+        p95_factor:
+            Multiplier turning the profile's mean latency into the P95
+            latency Orion targets.
+        count_search_overhead:
+            When False the scheduling overhead reported to the controller is
+            zero (the "Orion w/o searching overhead" curve of Figure 9).
+        bundling:
+            Orion's "bundling" right: after the search settles on a
+            configuration vector, the batch size of each stage is grown as
+            long as the predicted P95 latency still fits the SLO, lowering
+            the per-job cost.  Because the plan is fixed up-front, these
+            bundle sizes frequently exceed the queue length when the stage is
+            actually scheduled — the pre-planned miss rate of Table 4.
+        """
+        super().__init__()
+        if cutoff_ms <= 0:
+            raise ValueError("cutoff_ms must be positive")
+        if per_expansion_ms <= 0:
+            raise ValueError("per_expansion_ms must be positive")
+        if p95_factor < 1.0:
+            raise ValueError("p95_factor must be >= 1")
+        self.cutoff_ms = cutoff_ms
+        self.per_expansion_ms = per_expansion_ms
+        self.p95_factor = p95_factor
+        self.count_search_overhead = count_search_overhead
+        self.bundling = bundling
+        self._searches = 0
+        #: Cache of search outcomes keyed by (workflow, SLO).  The search is
+        #: deterministic, so re-running it for every request would only burn
+        #: wall-clock time; the *charged* overhead is still the per-request
+        #: search time, exactly as if the search had run again.
+        self._search_cache: dict[tuple[str, int], OrionSearchResult] = {}
+
+    # ------------------------------------------------------------------
+    # Whole-workflow best-first search
+    # ------------------------------------------------------------------
+    def search(self, workflow: Workflow, slo_ms: float) -> OrionSearchResult:
+        """Search the joint configuration space of ``workflow`` for ``slo_ms``.
+
+        States are vectors of per-stage option indices; the start state is
+        all-minimum; each expansion bumps one dimension of one stage.  The
+        priority queue is ordered by total per-job cost, so the first state
+        whose P95 latency fits the SLO is (approximately) the cheapest
+        feasible one.
+        """
+        store = self.context.profile_store
+        space = self.context.config_space
+        stage_ids = workflow.topological_order()
+        profiles = [store.profile(workflow.function_of(sid)) for sid in stage_ids]
+        dims = (space.batch_options, space.vcpu_options, space.vgpu_options)
+        dims_max = tuple(len(options) - 1 for options in dims)
+
+        # Precompute per-stage (latency, cost) lookup tables indexed by the
+        # option indices, so evaluating a state is a handful of dict reads
+        # instead of profile lookups (the search examines tens of thousands
+        # of states under large cutoffs).
+        stage_tables: list[dict[tuple[int, int, int], tuple[float, float]]] = []
+        for profile in profiles:
+            table: dict[tuple[int, int, int], tuple[float, float]] = {}
+            for bi, b in enumerate(dims[0]):
+                for ci, c in enumerate(dims[1]):
+                    for gi, g in enumerate(dims[2]):
+                        cfg = Configuration(batch_size=b, vcpus=c, vgpus=g)
+                        table[(bi, ci, gi)] = (
+                            self.p95_factor * profile.latency_ms(cfg),
+                            profile.per_job_cost_cents(cfg),
+                        )
+            stage_tables.append(table)
+
+        def decode(state: tuple[tuple[int, int, int], ...]) -> list[Configuration]:
+            return [
+                Configuration(
+                    batch_size=dims[0][s[0]], vcpus=dims[1][s[1]], vgpus=dims[2][s[2]]
+                )
+                for s in state
+            ]
+
+        def evaluate(state: tuple[tuple[int, int, int], ...]) -> tuple[float, float]:
+            latency = 0.0
+            cost = 0.0
+            for table, s in zip(stage_tables, state):
+                lat, c = table[s]
+                latency += lat
+                cost += c
+            return latency, cost
+
+        max_expansions = max(1, int(self.cutoff_ms / self.per_expansion_ms))
+        start = tuple((0, 0, 0) for _ in stage_ids)
+        start_latency, start_cost = evaluate(start)
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, tuple[tuple[int, int, int], ...], float]] = [
+            (start_cost, next(counter), start, start_latency)
+        ]
+        visited: set[tuple[tuple[int, int, int], ...]] = {start}
+        best_feasible: tuple[tuple[tuple[int, int, int], ...], float, float] | None = None
+        closest: tuple[tuple[tuple[int, int, int], ...], float, float] = (
+            start,
+            start_latency,
+            start_cost,
+        )
+        expansions = 0
+
+        while heap and expansions < max_expansions:
+            cost, _, state, latency = heapq.heappop(heap)
+            expansions += 1
+            if abs(latency - slo_ms) < abs(closest[1] - slo_ms):
+                closest = (state, latency, cost)
+            if latency <= slo_ms:
+                best_feasible = (state, latency, cost)
+                break
+            for stage_idx in range(len(stage_ids)):
+                for dim in range(3):
+                    if state[stage_idx][dim] >= dims_max[dim]:
+                        continue
+                    new_stage = list(state[stage_idx])
+                    new_stage[dim] += 1
+                    new_state = state[:stage_idx] + (tuple(new_stage),) + state[stage_idx + 1 :]
+                    if new_state in visited:
+                        continue
+                    visited.add(new_state)
+                    new_latency, new_cost = evaluate(new_state)
+                    heapq.heappush(heap, (new_cost, next(counter), new_state, new_latency))
+
+        reached_goal = best_feasible is not None
+        chosen = best_feasible if best_feasible is not None else closest
+        state, latency, cost = chosen
+        if self.bundling and reached_goal:
+            state, latency, cost = self._bundle(state, slo_ms, evaluate, dims_max)
+        plan = dict(zip(stage_ids, decode(state)))
+        search_time_ms = min(self.cutoff_ms, expansions * self.per_expansion_ms)
+        self._searches += 1
+        return OrionSearchResult(
+            plan=plan,
+            predicted_latency_ms=latency,
+            predicted_cost_cents=cost,
+            expansions=expansions,
+            reached_goal=reached_goal,
+            search_time_ms=search_time_ms,
+        )
+
+    @staticmethod
+    def _bundle(state, slo_ms, evaluate, dims_max):
+        """Grow each stage's batch while the predicted latency still fits the SLO."""
+        latency, cost = evaluate(state)
+        changed = True
+        while changed:
+            changed = False
+            for stage_idx in range(len(state)):
+                if state[stage_idx][0] >= dims_max[0]:
+                    continue
+                bumped_stage = (state[stage_idx][0] + 1,) + state[stage_idx][1:]
+                candidate = state[:stage_idx] + (bumped_stage,) + state[stage_idx + 1 :]
+                cand_latency, cand_cost = evaluate(candidate)
+                if cand_latency <= slo_ms and cand_cost <= cost:
+                    state, latency, cost = candidate, cand_latency, cand_cost
+                    changed = True
+        return state, latency, cost
+
+    # ------------------------------------------------------------------
+    # SchedulingPolicy interface
+    # ------------------------------------------------------------------
+    def plan(self, queue: AFWQueue, now_ms: float) -> SchedulingDecision | None:
+        """Return the pre-planned configuration of the queue's stage."""
+        if queue.is_empty:
+            return None
+        request = queue.oldest_job().request
+        overhead = 0.0
+        if request.static_plan is None:
+            cache_key = (request.workflow.name, int(round(request.slo_ms)))
+            result = self._search_cache.get(cache_key)
+            if result is None:
+                result = self.search(request.workflow, request.slo_ms)
+                self._search_cache[cache_key] = result
+            request.static_plan = dict(result.plan)
+            overhead = result.search_time_ms
+
+        planned = request.static_plan.get(queue.stage_id)
+        if planned is None:
+            return None
+        miss = planned.batch_size > len(queue)
+        if miss:
+            request.plan_miss_count += 1
+            planned = planned.with_batch(max(1, len(queue)))
+        reported = overhead if self.count_search_overhead else 0.0
+        return SchedulingDecision(
+            candidates=[planned],
+            planned_path=dict(request.static_plan),
+            used_preplanned=True,
+            plan_miss=miss,
+            reported_overhead_ms=reported,
+        )
+
+    def on_bind(self, context) -> None:
+        """Clear the search cache (profiles may differ between runs)."""
+        self._search_cache.clear()
+
+    @property
+    def searches_performed(self) -> int:
+        """Number of distinct whole-workflow searches actually executed."""
+        return self._searches

@@ -1,0 +1,32 @@
+"""Average-service-time SLO distribution.
+
+INFless and FaST-GShare provide no method for distributing an application's
+end-to-end SLO over its stages; the paper follows GrandSLAm and splits the
+SLO proportionally to each function's average service time.  The same helper
+is shared by both baselines.
+"""
+
+from __future__ import annotations
+
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.dag import Workflow
+
+__all__ = ["service_time_fractions"]
+
+
+def service_time_fractions(workflow: Workflow, profile_store: ProfileStore) -> dict[str, float]:
+    """Fraction of the end-to-end SLO assigned to each stage.
+
+    The fraction of stage ``i`` is its minimum-configuration execution time
+    divided by the sum over all stages, so fractions add up to 1 for any
+    workflow (parallel branches simply share the budget proportionally,
+    which ignores their overlap — one of the weaknesses the paper points
+    out for these baselines).
+    """
+    minimum = profile_store.space.minimum
+    times = {
+        sid: profile_store.profile(workflow.function_of(sid)).latency_ms(minimum)
+        for sid in workflow.stage_ids()
+    }
+    total = sum(times.values())
+    return {sid: t / total for sid, t in times.items()}

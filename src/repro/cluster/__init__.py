@@ -1,0 +1,67 @@
+"""Serverless platform substrate: a discrete-event simulator of an
+OpenWhisk-like controller and a cluster of GPU-sharing invoker nodes.
+
+The paper evaluates ESG through emulation driven by measured function
+profiles; this subpackage is that emulation framework.  It models:
+
+* invoker nodes with vCPU and vGPU (MIG slice) accounting,
+* container lifecycle (cold start, warm start, 10-minute keep-alive),
+* EWMA-based pre-warming,
+* data transfer between pipeline stages (local file system vs. remote
+  storage, depending on placement),
+* the controller with app-function-wise (AFW) job queues, round-robin
+  scanning, a recheck list and pluggable scheduling policies,
+* metrics collection (SLO hit rate, cost, latency, scheduling overhead,
+  pre-planned configuration miss rate).
+"""
+
+from repro.cluster.cluster import ClusterConfig, ClusterState
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.controller import Controller, ControllerConfig
+from repro.cluster.datatransfer import DataTransferModel
+from repro.cluster.events import (
+    Event,
+    PrewarmCompleteEvent,
+    RequestArrivalEvent,
+    SchedulerTickEvent,
+    TaskCompletionEvent,
+)
+from repro.cluster.gpu import GpuDevice
+from repro.cluster.invoker import Invoker
+from repro.cluster.metrics import MetricsCollector, RunSummary
+from repro.cluster.policy_api import (
+    AFWQueue,
+    SchedulingContext,
+    SchedulingDecision,
+    SchedulingPolicy,
+)
+from repro.cluster.prewarm import PrewarmManager
+from repro.cluster.simulator import Simulation, SimulationConfig
+from repro.cluster.tasks import Task
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterState",
+    "Container",
+    "ContainerState",
+    "Controller",
+    "ControllerConfig",
+    "DataTransferModel",
+    "Event",
+    "RequestArrivalEvent",
+    "SchedulerTickEvent",
+    "TaskCompletionEvent",
+    "PrewarmCompleteEvent",
+    "GpuDevice",
+    "Invoker",
+    "MetricsCollector",
+    "RunSummary",
+    "AFWQueue",
+    "SchedulingContext",
+    "SchedulingDecision",
+    "SchedulingPolicy",
+    "PrewarmManager",
+    "Simulation",
+    "SimulationConfig",
+    "Task",
+]

@@ -1,0 +1,138 @@
+"""Cluster state: the set of invoker nodes managed by the controller.
+
+Matches the testbed of Table 2: 16 nodes, each with 16 vCPUs and one A100
+GPU split into up to 7 MIG instances (vGPUs).  Also implements OpenWhisk's
+"home invoker" hashing: the default node for a function is determined by a
+hash of its (namespace, action) identity, which concentrates invocations of
+the same function on the same node and therefore yields more warm starts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.cluster.invoker import Invoker
+from repro.cluster.container import DEFAULT_KEEP_ALIVE_MS
+from repro.profiles.configuration import Configuration
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["ClusterConfig", "ClusterState"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the emulated testbed."""
+
+    num_invokers: int = 16
+    vcpus_per_invoker: int = 16
+    vgpus_per_invoker: int = 7
+    keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.num_invokers, "num_invokers")
+        ensure_positive_int(self.vcpus_per_invoker, "vcpus_per_invoker")
+        ensure_positive_int(self.vgpus_per_invoker, "vgpus_per_invoker")
+
+    @property
+    def total_vcpus(self) -> int:
+        """Aggregate vCPU capacity of the cluster."""
+        return self.num_invokers * self.vcpus_per_invoker
+
+    @property
+    def total_vgpus(self) -> int:
+        """Aggregate vGPU capacity of the cluster."""
+        return self.num_invokers * self.vgpus_per_invoker
+
+
+@dataclass
+class ClusterState:
+    """The live state of all invokers."""
+
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    invokers: list[Invoker] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.invokers = [
+            Invoker(
+                invoker_id=i,
+                total_vcpus=self.config.vcpus_per_invoker,
+                total_vgpus=self.config.vgpus_per_invoker,
+                keep_alive_ms=self.config.keep_alive_ms,
+            )
+            for i in range(self.config.num_invokers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def invoker(self, invoker_id: int) -> Invoker:
+        """Return the invoker with the given id."""
+        if not 0 <= invoker_id < len(self.invokers):
+            raise KeyError(f"invoker id {invoker_id} out of range [0, {len(self.invokers)})")
+        return self.invokers[invoker_id]
+
+    def __len__(self) -> int:
+        return len(self.invokers)
+
+    def __iter__(self):
+        return iter(self.invokers)
+
+    # ------------------------------------------------------------------
+    # Home-invoker hashing (OpenWhisk behaviour)
+    # ------------------------------------------------------------------
+    def home_invoker_id(self, app_name: str, function_name: str) -> int:
+        """Deterministic "home" node for invocations of a function.
+
+        OpenWhisk hashes the namespace and action name; we hash the
+        application and function names so different applications using the
+        same function can land on different homes (matching the AFW-queue
+        separation of the paper).
+        """
+        digest = hashlib.sha256(f"{app_name}/{function_name}".encode()).digest()
+        return int.from_bytes(digest[:4], "big") % len(self.invokers)
+
+    # ------------------------------------------------------------------
+    # Cluster-wide queries
+    # ------------------------------------------------------------------
+    def invokers_that_fit(self, config: Configuration) -> list[Invoker]:
+        """Invokers that currently have room for ``config`` (ordered by id)."""
+        return [inv for inv in self.invokers if inv.can_fit(config)]
+
+    def warm_invokers_for(self, function_name: str, now_ms: float) -> list[Invoker]:
+        """Invokers with an idle warm container for ``function_name``."""
+        return [inv for inv in self.invokers if inv.has_warm_container(function_name, now_ms)]
+
+    def most_available_invoker(self, config: Configuration) -> Invoker | None:
+        """The fitting invoker with the most free resources (ties by id).
+
+        Used as the cold-node fallback of ESG_Dispatch ("choose the one with
+        the most available resources").
+        """
+        fitting = self.invokers_that_fit(config)
+        if not fitting:
+            return None
+        return max(
+            fitting,
+            key=lambda inv: (inv.available_vgpus + inv.available_vcpus / inv.total_vcpus, -inv.invoker_id),
+        )
+
+    def total_available_vcpus(self) -> int:
+        """Free vCPUs across the cluster."""
+        return sum(inv.available_vcpus for inv in self.invokers)
+
+    def total_available_vgpus(self) -> int:
+        """Free vGPUs across the cluster."""
+        return sum(inv.available_vgpus for inv in self.invokers)
+
+    def cpu_utilization(self) -> float:
+        """Cluster-wide vCPU utilisation."""
+        return 1.0 - self.total_available_vcpus() / self.config.total_vcpus
+
+    def gpu_utilization(self) -> float:
+        """Cluster-wide vGPU utilisation."""
+        return 1.0 - self.total_available_vgpus() / self.config.total_vgpus
+
+    def expire_containers(self, now_ms: float) -> int:
+        """Expire idle containers past their keep-alive on every node."""
+        return sum(len(inv.expire_containers(now_ms)) for inv in self.invokers)

@@ -1,0 +1,120 @@
+"""Container / function-residency lifecycle model.
+
+A serverless function executes inside a container that holds its DNN model.
+The first time a function is placed on a node the container must be created
+and the model loaded — the cold-start times of Table 3 (seconds to tens of
+seconds).  Once the function is *resident* on the node, further invocations
+are warm starts; with MIG/MPS-style GPU sharing a resident function can
+serve several concurrent tasks (each task's compute is bounded separately by
+the vCPU/vGPU reservations tracked by the invoker).  An idle resident
+container is unloaded after the keep-alive window (OpenWhisk's fixed 10
+minutes).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["ContainerState", "Container", "DEFAULT_KEEP_ALIVE_MS"]
+
+#: OpenWhisk's fixed keep-alive policy: 10 minutes.
+DEFAULT_KEEP_ALIVE_MS: float = 10 * 60 * 1000.0
+
+_container_ids = itertools.count()
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a container."""
+
+    #: Being created (cold start in progress, possibly triggered by the prewarmer).
+    STARTING = "starting"
+    #: Resident and idle; new tasks get warm starts.
+    WARM = "warm"
+    #: Resident with at least one task executing.
+    BUSY = "busy"
+    #: Unloaded (keep-alive expired); kept only for bookkeeping.
+    STOPPED = "stopped"
+
+
+@dataclass
+class Container:
+    """One function's residency on one invoker."""
+
+    function_name: str
+    invoker_id: int
+    state: ContainerState = ContainerState.STARTING
+    #: Absolute time at which the container becomes warm (end of cold start).
+    warm_at_ms: float = 0.0
+    #: Absolute time at which an idle warm container expires.
+    expires_at_ms: float = float("inf")
+    #: Number of tasks currently executing in this container.
+    active_tasks: int = 0
+    container_id: int = field(default_factory=lambda: next(_container_ids))
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def mark_warm(self, now_ms: float, keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS) -> None:
+        """Transition to WARM (idle, resident) and (re)arm the keep-alive timer."""
+        if self.state == ContainerState.STOPPED:
+            raise RuntimeError(f"container {self.container_id} is stopped and cannot be warmed")
+        if self.active_tasks > 0:
+            raise RuntimeError(
+                f"container {self.container_id} still has {self.active_tasks} active tasks"
+            )
+        self.state = ContainerState.WARM
+        self.warm_at_ms = min(self.warm_at_ms, now_ms) if self.warm_at_ms else now_ms
+        self.expires_at_ms = now_ms + keep_alive_ms
+
+    def assign_task(self) -> None:
+        """A task starts executing in this container."""
+        if self.state == ContainerState.STOPPED:
+            raise RuntimeError(f"container {self.container_id} is stopped")
+        self.active_tasks += 1
+        self.state = ContainerState.BUSY
+        self.expires_at_ms = float("inf")
+
+    def release_task(self, now_ms: float, keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS) -> None:
+        """A task finished; when the last one leaves, the container idles warm."""
+        if self.active_tasks <= 0:
+            raise RuntimeError(f"container {self.container_id} has no active task to release")
+        self.active_tasks -= 1
+        if self.active_tasks == 0:
+            self.state = ContainerState.WARM
+            self.expires_at_ms = now_ms + keep_alive_ms
+
+    def mark_stopped(self) -> None:
+        """Unload the container."""
+        if self.active_tasks > 0:
+            raise RuntimeError(
+                f"container {self.container_id} cannot be stopped with active tasks"
+            )
+        self.state = ContainerState.STOPPED
+        self.expires_at_ms = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_resident(self, now_ms: float) -> bool:
+        """True if the function is loaded on the node (warm start possible)."""
+        if self.state == ContainerState.BUSY:
+            return True
+        return (
+            self.state == ContainerState.WARM
+            and self.warm_at_ms <= now_ms
+            and now_ms < self.expires_at_ms
+        )
+
+    def is_warm_idle(self, now_ms: float) -> bool:
+        """True if the container is resident and currently idle."""
+        return (
+            self.state == ContainerState.WARM
+            and self.warm_at_ms <= now_ms
+            and now_ms < self.expires_at_ms
+        )
+
+    def is_expired(self, now_ms: float) -> bool:
+        """True if an idle warm container has outlived its keep-alive window."""
+        return self.state == ContainerState.WARM and now_ms >= self.expires_at_ms

@@ -1,0 +1,379 @@
+"""The OpenWhisk-like controller: AFW queues, round-robin scanning, dispatch.
+
+This is the component the ESG paper modifies ("ESG runs on the Controller
+of a serverless platform").  The controller owns the app-function-wise job
+queues, scans them round-robin, asks the plugged-in scheduling policy for a
+configuration priority queue, tries the candidates against the invokers,
+maintains a recheck list for queues that could not be placed, charges cold
+starts / data transfers / scheduling overhead, and advances requests through
+their workflow DAG as tasks complete.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+from repro.cluster.cluster import ClusterState
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.datatransfer import DataTransferModel
+from repro.cluster.events import (
+    Event,
+    PrewarmCompleteEvent,
+    TaskCompletionEvent,
+)
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.policy_api import AFWQueue, SchedulingDecision, SchedulingPolicy
+from repro.cluster.prewarm import PrewarmManager
+from repro.cluster.tasks import Task
+from repro.profiles.configuration import Configuration
+from repro.profiles.perf_model import PerformanceModel
+from repro.profiles.pricing import PricingModel
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Job, Request
+
+__all__ = ["ControllerConfig", "Controller"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunable behaviour of the controller (identical across policies)."""
+
+    #: Interval between controller scheduling passes.
+    tick_interval_ms: float = 2.0
+    #: After this many failed recheck rounds a queue is force-dispatched with
+    #: the minimum configuration ("to ensure progress", Section 3.1).
+    recheck_rounds_before_min: int = 3
+    #: Whether the measured / reported scheduling overhead delays the task.
+    count_overhead_in_latency: bool = True
+    #: Initial warm container placement: one per (app, stage) on its home
+    #: invoker, on every invoker, or nowhere.
+    initial_warm: Literal["home", "all", "none"] = "home"
+    #: Enable the EWMA prewarmer.
+    prewarm_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tick_interval_ms <= 0:
+            raise ValueError("tick_interval_ms must be positive")
+        if self.recheck_rounds_before_min < 1:
+            raise ValueError("recheck_rounds_before_min must be >= 1")
+        if self.initial_warm not in ("home", "all", "none"):
+            raise ValueError(f"invalid initial_warm {self.initial_warm!r}")
+
+
+@dataclass
+class Controller:
+    """Platform controller wiring queues, policy, cluster and metrics together."""
+
+    policy: SchedulingPolicy
+    cluster: ClusterState
+    profile_store: ProfileStore
+    runtime_perf_model: PerformanceModel
+    pricing: PricingModel
+    metrics: MetricsCollector
+    transfer_model: DataTransferModel = field(default_factory=DataTransferModel)
+    config: ControllerConfig = field(default_factory=ControllerConfig)
+    prewarmer: PrewarmManager | None = None
+    #: Callback used to emit new events into the simulation's event loop.
+    event_sink: Callable[[Event], None] = field(default=lambda event: None)
+
+    _queues: dict[tuple[str, str], AFWQueue] = field(default_factory=dict, repr=False)
+    _workflows: dict[str, Workflow] = field(default_factory=dict, repr=False)
+    _recheck: list[tuple[str, str]] = field(default_factory=list, repr=False)
+    _task_containers: dict[int, Container] = field(default_factory=dict, repr=False)
+    _rr_offset: int = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_workflow(self, workflow: Workflow) -> None:
+        """Make a workflow known (creates its AFW queues lazily)."""
+        self._workflows.setdefault(workflow.name, workflow)
+
+    def initialize_warm_pool(self) -> None:
+        """Create the initial warm containers according to the config.
+
+        ``"home"`` (default) warms one container per (application, stage) on
+        its home invoker — the state a production deployment converges to
+        after a few invocations under OpenWhisk's hash-based placement.
+        ``"all"`` warms every function everywhere (no cold starts at all);
+        ``"none"`` starts fully cold.
+        """
+        if self.config.initial_warm == "none":
+            return
+        for workflow in self._workflows.values():
+            for stage in workflow.stages():
+                if self.config.initial_warm == "home":
+                    home = self.cluster.home_invoker_id(workflow.name, stage.function_name)
+                    invoker = self.cluster.invoker(home)
+                    if not invoker.has_warm_container(stage.function_name, 0.0):
+                        invoker.create_warm_container(stage.function_name, 0.0)
+                else:  # "all"
+                    for invoker in self.cluster:
+                        if not invoker.has_warm_container(stage.function_name, 0.0):
+                            invoker.create_warm_container(stage.function_name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+    def queue_for(self, app_name: str, stage_id: str) -> AFWQueue:
+        """Return (creating if needed) the AFW queue of (app, stage)."""
+        key = (app_name, stage_id)
+        if key not in self._queues:
+            workflow = self._workflows[app_name]
+            self._queues[key] = AFWQueue(
+                app_name=app_name,
+                stage_id=stage_id,
+                function_name=workflow.function_of(stage_id),
+                workflow=workflow,
+            )
+        return self._queues[key]
+
+    def queues(self) -> list[AFWQueue]:
+        """All existing AFW queues (deterministic order)."""
+        return [self._queues[key] for key in sorted(self._queues)]
+
+    def pending_jobs(self) -> int:
+        """Total number of jobs waiting across all queues."""
+        return sum(len(q) for q in self._queues.values())
+
+    def has_pending_work(self) -> bool:
+        """True if any queue holds a job."""
+        return any(len(q) > 0 for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_request_arrival(self, request: Request, now_ms: float) -> None:
+        """Register a new request and enqueue its source-stage jobs."""
+        self.register_workflow(request.workflow)
+        self.metrics.register_request(request)
+        for stage_id in request.workflow.sources():
+            queue = self.queue_for(request.app_name, stage_id)
+            queue.push(Job(request=request, stage_id=stage_id, ready_ms=now_ms))
+        if self.prewarmer is not None:
+            for stage in request.workflow.stages():
+                self.prewarmer.observe_arrival(request.app_name, stage.function_name, now_ms)
+
+    def on_task_completion(self, task: Task, now_ms: float) -> None:
+        """Release resources, advance requests, enqueue successor jobs."""
+        invoker = self.cluster.invoker(task.invoker_id)
+        invoker.release(task.config)
+        container = self._task_containers.pop(task.task_id, None)
+        if container is not None:
+            container.release_task(now_ms, invoker.keep_alive_ms)
+
+        for job in task.jobs:
+            request = job.request
+            request.record_stage_completion(task.stage_id, now_ms, task.invoker_id)
+            for succ in request.workflow.successors(task.stage_id):
+                if request.stage_is_ready(succ):
+                    queue = self.queue_for(request.app_name, succ)
+                    queue.push(Job(request=request, stage_id=succ, ready_ms=now_ms))
+
+    def on_prewarm_complete(self, container: Container, now_ms: float) -> None:
+        """A prewarmed container finished its cold start."""
+        if container.state == ContainerState.STARTING:
+            keep_alive = self.cluster.invoker(container.invoker_id).keep_alive_ms
+            container.mark_warm(now_ms, keep_alive)
+        self.metrics.record_prewarm()
+
+    def on_tick(self, now_ms: float) -> None:
+        """One controller round: expire containers, prewarm, scan queues."""
+        self.cluster.expire_containers(now_ms)
+        if self.prewarmer is not None and self.config.prewarm_enabled:
+            for plan in self.prewarmer.plan(self.cluster, now_ms):
+                container = self._find_starting_container(plan.invoker_id, plan.function_name)
+                if container is not None:
+                    self.event_sink(
+                        PrewarmCompleteEvent(time_ms=plan.ready_at_ms, container=container)
+                    )
+        self.run_scheduling_pass(now_ms)
+
+    def _find_starting_container(self, invoker_id: int, function_name: str) -> Container | None:
+        for container in self.cluster.invoker(invoker_id).containers_for(function_name):
+            if container.state == ContainerState.STARTING:
+                return container
+        return None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def run_scheduling_pass(self, now_ms: float) -> int:
+        """Scan all queues round-robin once; returns the number of dispatches."""
+        keys = sorted(self._queues)
+        if not keys:
+            return 0
+        n = len(keys)
+        dispatched = 0
+        order = [keys[(self._rr_offset + i) % n] for i in range(n)]
+        self._rr_offset = (self._rr_offset + 1) % n
+
+        for key in order:
+            queue = self._queues[key]
+            if queue.is_empty:
+                continue
+            # A queue may yield several tasks per visit (e.g. many small
+            # batches when resources are plentiful); cap the iterations so a
+            # single visit cannot starve the other queues.
+            any_dispatch = False
+            for _ in range(8):
+                if queue.is_empty or not self._try_schedule_queue(queue, now_ms):
+                    break
+                any_dispatch = True
+                dispatched += 1
+            if any_dispatch:
+                queue.recheck_rounds = 0
+                if key in self._recheck:
+                    self._recheck.remove(key)
+            elif not queue.is_empty and key not in self._recheck:
+                self._recheck.append(key)
+            # After finishing a queue, retry the recheck list (Section 3.1).
+            dispatched += self._process_recheck_list(now_ms)
+        return dispatched
+
+    def _process_recheck_list(self, now_ms: float) -> int:
+        """Retry queues parked in the recheck list; force-dispatch stale ones."""
+        dispatched = 0
+        for key in list(self._recheck):
+            queue = self._queues[key]
+            if queue.is_empty:
+                self._recheck.remove(key)
+                queue.recheck_rounds = 0
+                continue
+            if self._try_schedule_queue(queue, now_ms):
+                dispatched += 1
+                self._recheck.remove(key)
+                queue.recheck_rounds = 0
+                continue
+            queue.recheck_rounds += 1
+            if queue.recheck_rounds >= self.config.recheck_rounds_before_min:
+                if self._force_minimum_dispatch(queue, now_ms):
+                    dispatched += 1
+                    self._recheck.remove(key)
+                    queue.recheck_rounds = 0
+        return dispatched
+
+    def _try_schedule_queue(self, queue: AFWQueue, now_ms: float) -> bool:
+        """Plan + dispatch one queue; returns True if a task was dispatched."""
+        start = _time.perf_counter()
+        decision = self.policy.plan(queue, now_ms)
+        measured_ms = (_time.perf_counter() - start) * 1000.0
+        if decision is None:
+            return False
+        overhead_ms = (
+            decision.reported_overhead_ms
+            if decision.reported_overhead_ms is not None
+            else measured_ms
+        )
+        self.metrics.record_overhead(overhead_ms)
+        if decision.used_preplanned:
+            self.metrics.record_plan_attempt(miss=decision.plan_miss)
+
+        for candidate in decision.candidates:
+            config = self._clip_to_queue(candidate, queue)
+            invoker_id = self.policy.select_invoker(config, queue, now_ms)
+            if invoker_id is None:
+                continue
+            invoker = self.cluster.invoker(invoker_id)
+            if not invoker.can_fit(config):
+                continue
+            self._dispatch(queue, config, invoker_id, now_ms, overhead_ms)
+            return True
+        return False
+
+    def _force_minimum_dispatch(self, queue: AFWQueue, now_ms: float) -> bool:
+        """Dispatch the queue head with the minimum configuration if possible."""
+        config = self.profile_store.space.minimum
+        invoker_id = self.policy.select_invoker(config, queue, now_ms)
+        if invoker_id is None or not self.cluster.invoker(invoker_id).can_fit(config):
+            fallback = self.cluster.most_available_invoker(config)
+            if fallback is None:
+                return False
+            invoker_id = fallback.invoker_id
+        self.metrics.record_forced_min_dispatch()
+        self.metrics.record_overhead(0.0)
+        self._dispatch(queue, config, invoker_id, now_ms, 0.0)
+        return True
+
+    def _clip_to_queue(self, config: Configuration, queue: AFWQueue) -> Configuration:
+        """Cap the batch size at the number of queued jobs."""
+        if config.batch_size > len(queue):
+            return config.with_batch(max(1, len(queue)))
+        return config
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        queue: AFWQueue,
+        config: Configuration,
+        invoker_id: int,
+        now_ms: float,
+        overhead_ms: float,
+    ) -> Task:
+        """Create the task, charge its latency components, reserve resources."""
+        invoker = self.cluster.invoker(invoker_id)
+        spec = self.profile_store.profile(queue.function_name).spec
+        jobs = queue.pop_batch(min(config.batch_size, len(queue)))
+        effective = config.with_batch(len(jobs)) if len(jobs) != config.batch_size else config
+
+        # Container: warm start if the function is resident on the node, else
+        # cold-start a new container (which then stays resident).
+        container = invoker.resident_container(queue.function_name, now_ms)
+        if container is not None:
+            cold_ms = 0.0
+        else:
+            cold_ms = spec.cold_start_ms
+            container = Container(
+                function_name=queue.function_name,
+                invoker_id=invoker_id,
+                state=ContainerState.STARTING,
+                warm_at_ms=now_ms + cold_ms,
+            )
+            invoker.add_container(container)
+        container.assign_task()
+
+        # Data transfer: local when the predecessor stage ran on this node.
+        transfer_ms = 0.0
+        for job in jobs:
+            preds = job.request.workflow.predecessors(job.stage_id)
+            if not preds:
+                # Source stages fetch the user input from remote storage for
+                # every policy alike.
+                job_transfer = self.transfer_model.remote_transfer_ms(spec.input_mb)
+                self.metrics.record_transfer(local=False)
+            else:
+                pred_invoker = job.request.predecessor_invoker(job.stage_id)
+                local = pred_invoker == invoker_id
+                job_transfer = self.transfer_model.transfer_ms(spec.input_mb, local=local)
+                self.metrics.record_transfer(local=local)
+            transfer_ms = max(transfer_ms, job_transfer)
+
+        exec_ms = self.runtime_perf_model.latency_ms(spec, effective)
+        charged_overhead = overhead_ms if self.config.count_overhead_in_latency else 0.0
+
+        task = Task(
+            app_name=queue.app_name,
+            stage_id=queue.stage_id,
+            function_name=queue.function_name,
+            jobs=jobs,
+            config=effective,
+            invoker_id=invoker_id,
+            dispatch_ms=now_ms,
+            overhead_ms=charged_overhead,
+            cold_start_ms=cold_ms,
+            transfer_ms=transfer_ms,
+            exec_ms=exec_ms,
+            policy_name=self.policy.name,
+        )
+        task.cost_cents = self.pricing.task_cost_cents(effective, task.duration_ms)
+
+        invoker.reserve(effective)
+        self._task_containers[task.task_id] = container
+        self.metrics.record_task(task)
+        self.event_sink(TaskCompletionEvent(time_ms=task.finish_ms, task=task))
+        return task

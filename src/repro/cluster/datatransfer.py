@@ -1,0 +1,62 @@
+"""Inter-stage data transfer model.
+
+When consecutive stages of a workflow run on the same invoker the output of
+the predecessor can be passed through the local file system; otherwise it
+must travel through remote storage (as in OpenWhisk/CouchDB or S3-style
+object stores).  The ESG paper's data-locality policy exists exactly to turn
+remote transfers into local ones, so the simulator charges a latency for
+each according to the transferred size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["DataTransferModel"]
+
+
+@dataclass(frozen=True)
+class DataTransferModel:
+    """Latency model for moving a stage's input data.
+
+    Parameters
+    ----------
+    local_bandwidth_mb_per_s:
+        Effective bandwidth when producer and consumer share a node
+        (local file system / page cache).
+    remote_bandwidth_mb_per_s:
+        Effective bandwidth through remote storage (two network hops:
+        upload by the producer is assumed overlapped; the consumer pays the
+        download).
+    local_latency_ms / remote_latency_ms:
+        Fixed per-transfer latency (metadata operations, connection setup).
+    """
+
+    local_bandwidth_mb_per_s: float = 2000.0
+    remote_bandwidth_mb_per_s: float = 100.0
+    local_latency_ms: float = 0.2
+    remote_latency_ms: float = 8.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.local_bandwidth_mb_per_s, "local_bandwidth_mb_per_s")
+        ensure_positive(self.remote_bandwidth_mb_per_s, "remote_bandwidth_mb_per_s")
+        ensure_non_negative(self.local_latency_ms, "local_latency_ms")
+        ensure_non_negative(self.remote_latency_ms, "remote_latency_ms")
+
+    def local_transfer_ms(self, size_mb: float) -> float:
+        """Latency of a same-node transfer of ``size_mb`` megabytes."""
+        ensure_non_negative(size_mb, "size_mb")
+        return self.local_latency_ms + 1000.0 * size_mb / self.local_bandwidth_mb_per_s
+
+    def remote_transfer_ms(self, size_mb: float) -> float:
+        """Latency of a cross-node transfer of ``size_mb`` megabytes."""
+        ensure_non_negative(size_mb, "size_mb")
+        return self.remote_latency_ms + 1000.0 * size_mb / self.remote_bandwidth_mb_per_s
+
+    def transfer_ms(self, size_mb: float, *, local: bool) -> float:
+        """Latency of a transfer, dispatching on locality."""
+        if local:
+            return self.local_transfer_ms(size_mb)
+        return self.remote_transfer_ms(size_mb)

@@ -1,0 +1,54 @@
+"""Event types for the discrete-event simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.container import Container
+from repro.cluster.tasks import Task
+from repro.workloads.request import Request
+
+__all__ = [
+    "Event",
+    "RequestArrivalEvent",
+    "TaskCompletionEvent",
+    "SchedulerTickEvent",
+    "PrewarmCompleteEvent",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: something that happens at an absolute simulation time."""
+
+    time_ms: float
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time_ms}")
+
+
+@dataclass(frozen=True)
+class RequestArrivalEvent(Event):
+    """A new application request arrives at the platform."""
+
+    request: Request = field(compare=False)
+
+
+@dataclass(frozen=True)
+class TaskCompletionEvent(Event):
+    """A dispatched task finishes executing on its invoker."""
+
+    task: Task = field(compare=False)
+
+
+@dataclass(frozen=True)
+class SchedulerTickEvent(Event):
+    """Periodic controller tick: scan the AFW queues round-robin."""
+
+
+@dataclass(frozen=True)
+class PrewarmCompleteEvent(Event):
+    """A prewarmed container finishes its cold start and becomes warm."""
+
+    container: Container = field(compare=False)

@@ -1,0 +1,69 @@
+"""MIG-style shareable GPU model.
+
+The resource model of the paper (Section 3.2): each physical GPU is
+partitioned into the maximum number of MIG instances (7 on an A100); one
+vGPU equals one MIG slice, and a function configured with multiple vGPUs
+launches one kernel per slice.  For scheduling purposes the only state that
+matters is how many slices are free, so the device tracks slice allocation
+counts (slices are interchangeable thanks to MIG's hardware isolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["GpuDevice"]
+
+
+@dataclass
+class GpuDevice:
+    """One physical GPU partitioned into ``total_vgpus`` MIG slices."""
+
+    device_id: int
+    total_vgpus: int = 7
+    _used_vgpus: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.total_vgpus, "total_vgpus")
+
+    @property
+    def used_vgpus(self) -> int:
+        """Number of slices currently allocated."""
+        return self._used_vgpus
+
+    @property
+    def available_vgpus(self) -> int:
+        """Number of free slices."""
+        return self.total_vgpus - self._used_vgpus
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of slices in use (0.0 - 1.0)."""
+        return self._used_vgpus / self.total_vgpus
+
+    def can_allocate(self, vgpus: int) -> bool:
+        """True if ``vgpus`` slices are currently free."""
+        ensure_positive_int(vgpus, "vgpus")
+        return vgpus <= self.available_vgpus
+
+    def allocate(self, vgpus: int) -> None:
+        """Allocate ``vgpus`` slices; raises ``RuntimeError`` if over capacity."""
+        ensure_positive_int(vgpus, "vgpus")
+        if vgpus > self.available_vgpus:
+            raise RuntimeError(
+                f"GPU {self.device_id}: cannot allocate {vgpus} vGPUs, "
+                f"only {self.available_vgpus} of {self.total_vgpus} available"
+            )
+        self._used_vgpus += vgpus
+
+    def release(self, vgpus: int) -> None:
+        """Release ``vgpus`` previously allocated slices."""
+        ensure_positive_int(vgpus, "vgpus")
+        if vgpus > self._used_vgpus:
+            raise RuntimeError(
+                f"GPU {self.device_id}: cannot release {vgpus} vGPUs, "
+                f"only {self._used_vgpus} are allocated"
+            )
+        self._used_vgpus -= vgpus

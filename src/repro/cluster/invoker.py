@@ -1,0 +1,188 @@
+"""Invoker (worker node) model.
+
+An invoker is a computing node managed by the controller: it owns a fixed
+number of vCPUs and one GPU partitioned into vGPUs (Table 2: 16 nodes, each
+with 16 vCPUs and one A100 split into up to 7 MIG instances).  The invoker
+tracks resource reservations of running tasks and the pool of containers
+(warm, busy, starting) for each function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.container import DEFAULT_KEEP_ALIVE_MS, Container, ContainerState
+from repro.cluster.gpu import GpuDevice
+from repro.profiles.configuration import Configuration
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["Invoker"]
+
+
+@dataclass
+class Invoker:
+    """One worker node with vCPU/vGPU accounting and a container pool."""
+
+    invoker_id: int
+    total_vcpus: int = 16
+    total_vgpus: int = 7
+    keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS
+    _used_vcpus: int = field(default=0, repr=False)
+    gpu: GpuDevice = field(init=False)
+    #: All containers ever created on this node, keyed by function name.
+    _containers: dict[str, list[Container]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.total_vcpus, "total_vcpus")
+        ensure_positive_int(self.total_vgpus, "total_vgpus")
+        self.gpu = GpuDevice(device_id=self.invoker_id, total_vgpus=self.total_vgpus)
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+    @property
+    def used_vcpus(self) -> int:
+        """vCPUs currently reserved by running tasks."""
+        return self._used_vcpus
+
+    @property
+    def available_vcpus(self) -> int:
+        """Free vCPUs."""
+        return self.total_vcpus - self._used_vcpus
+
+    @property
+    def used_vgpus(self) -> int:
+        """vGPUs currently reserved by running tasks."""
+        return self.gpu.used_vgpus
+
+    @property
+    def available_vgpus(self) -> int:
+        """Free vGPUs."""
+        return self.gpu.available_vgpus
+
+    def can_fit(self, config: Configuration) -> bool:
+        """True if the node currently has the resources ``config`` needs."""
+        return config.vcpus <= self.available_vcpus and self.gpu.can_allocate(config.vgpus)
+
+    def reserve(self, config: Configuration) -> None:
+        """Reserve the resources of ``config``; raises if they do not fit."""
+        if config.vcpus > self.available_vcpus:
+            raise RuntimeError(
+                f"invoker {self.invoker_id}: cannot reserve {config.vcpus} vCPUs, "
+                f"only {self.available_vcpus} of {self.total_vcpus} available"
+            )
+        self.gpu.allocate(config.vgpus)
+        self._used_vcpus += config.vcpus
+
+    def release(self, config: Configuration) -> None:
+        """Release resources previously reserved with :meth:`reserve`."""
+        if config.vcpus > self._used_vcpus:
+            raise RuntimeError(
+                f"invoker {self.invoker_id}: cannot release {config.vcpus} vCPUs, "
+                f"only {self._used_vcpus} are reserved"
+            )
+        self.gpu.release(config.vgpus)
+        self._used_vcpus -= config.vcpus
+
+    # ------------------------------------------------------------------
+    # Fragmentation / utilization metrics (used by baseline placement)
+    # ------------------------------------------------------------------
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of vCPUs in use."""
+        return self._used_vcpus / self.total_vcpus
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Fraction of vGPUs in use."""
+        return self.gpu.utilization
+
+    def remaining_after(self, config: Configuration) -> tuple[int, int]:
+        """(vCPUs, vGPUs) that would remain free after placing ``config``."""
+        return (self.available_vcpus - config.vcpus, self.available_vgpus - config.vgpus)
+
+    def fragmentation_score_after(self, config: Configuration) -> float:
+        """Leftover-capacity score used by fragmentation-minimising placement.
+
+        Lower means a tighter fit (fewer stranded resources).  INFless and
+        FaST-GShare prefer the node that minimises this score; the GPU share
+        is weighted more heavily because vGPUs are the scarce resource.
+        """
+        rem_cpu, rem_gpu = self.remaining_after(config)
+        return rem_cpu / self.total_vcpus + 2.0 * (rem_gpu / self.total_vgpus)
+
+    # ------------------------------------------------------------------
+    # Containers
+    # ------------------------------------------------------------------
+    def containers_for(self, function_name: str) -> list[Container]:
+        """All (non-stopped) containers of ``function_name`` on this node."""
+        return [
+            c
+            for c in self._containers.get(function_name, [])
+            if c.state != ContainerState.STOPPED
+        ]
+
+    def resident_container(self, function_name: str, now_ms: float) -> Container | None:
+        """Return a resident (warm or busy) container for the function, or ``None``."""
+        for container in self._containers.get(function_name, []):
+            if container.is_resident(now_ms):
+                return container
+        return None
+
+    def warm_idle_container(self, function_name: str, now_ms: float) -> Container | None:
+        """Return an idle warm container for the function, or ``None``."""
+        for container in self._containers.get(function_name, []):
+            if container.is_warm_idle(now_ms):
+                return container
+        return None
+
+    def has_warm_container(self, function_name: str, now_ms: float) -> bool:
+        """True if a warm-start is possible for the function right now."""
+        return self.resident_container(function_name, now_ms) is not None
+
+    def has_any_container(self, function_name: str, now_ms: float) -> bool:
+        """True if the function has a resident or starting container on this node."""
+        if self.resident_container(function_name, now_ms) is not None:
+            return True
+        for container in self._containers.get(function_name, []):
+            if container.state == ContainerState.STARTING:
+                return True
+        return False
+
+    def add_container(self, container: Container) -> None:
+        """Register a container on this node."""
+        if container.invoker_id != self.invoker_id:
+            raise ValueError(
+                f"container belongs to invoker {container.invoker_id}, not {self.invoker_id}"
+            )
+        self._containers.setdefault(container.function_name, []).append(container)
+
+    def create_warm_container(self, function_name: str, now_ms: float) -> Container:
+        """Create a container that is already warm (used for initial warm pools)."""
+        container = Container(
+            function_name=function_name,
+            invoker_id=self.invoker_id,
+            state=ContainerState.WARM,
+            warm_at_ms=now_ms,
+        )
+        container.mark_warm(now_ms, self.keep_alive_ms)
+        self.add_container(container)
+        return container
+
+    def expire_containers(self, now_ms: float) -> list[Container]:
+        """Stop idle containers whose keep-alive elapsed; returns them."""
+        expired: list[Container] = []
+        for containers in self._containers.values():
+            for container in containers:
+                if container.is_expired(now_ms):
+                    container.mark_stopped()
+                    expired.append(container)
+        return expired
+
+    def warm_function_names(self, now_ms: float) -> list[str]:
+        """Functions with at least one idle warm container on this node."""
+        return sorted(
+            name
+            for name in self._containers
+            if self.has_warm_container(name, now_ms)
+        )

@@ -1,0 +1,248 @@
+"""Metrics collection and run summaries.
+
+Everything the paper's evaluation reports is derived from the quantities
+collected here: SLO hit rates and costs (Figures 6 and 8), per-application
+end-to-end latencies (Figure 7), pre-planned configuration miss rates
+(Table 4), scheduling overhead distributions (Figures 9-11) and
+GPU-efficiency indicators for the ablation (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.tasks import Task
+from repro.utils.stats import SummaryStats, summarize
+from repro.workloads.request import Request
+
+__all__ = ["MetricsCollector", "RunSummary"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate results of one simulated run (one policy, one setting)."""
+
+    policy: str
+    setting: str
+    num_requests: int
+    num_completed: int
+    slo_hit_rate: float
+    total_cost_cents: float
+    cost_per_request_cents: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    mean_overhead_ms: float
+    p95_overhead_ms: float
+    plan_attempts: int
+    plan_misses: int
+    cold_starts: int
+    warm_starts: int
+    local_transfers: int
+    remote_transfers: int
+    forced_min_dispatches: int
+    mean_waiting_ms: float
+    total_vgpu_ms: float
+    total_vcpu_ms: float
+    per_app_slo_hit_rate: dict[str, float]
+    per_app_cost_cents: dict[str, float]
+    per_app_mean_latency_ms: dict[str, float]
+
+    @property
+    def plan_miss_rate(self) -> float:
+        """Fraction of scheduling attempts whose pre-planned config failed."""
+        if self.plan_attempts == 0:
+            return 0.0
+        return self.plan_misses / self.plan_attempts
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary used by the report renderers."""
+        return {
+            "policy": self.policy,
+            "setting": self.setting,
+            "num_requests": self.num_requests,
+            "num_completed": self.num_completed,
+            "slo_hit_rate": self.slo_hit_rate,
+            "total_cost_cents": self.total_cost_cents,
+            "cost_per_request_cents": self.cost_per_request_cents,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "mean_overhead_ms": self.mean_overhead_ms,
+            "p95_overhead_ms": self.p95_overhead_ms,
+            "plan_miss_rate": self.plan_miss_rate,
+            "cold_starts": self.cold_starts,
+            "warm_starts": self.warm_starts,
+            "local_transfers": self.local_transfers,
+            "remote_transfers": self.remote_transfers,
+            "forced_min_dispatches": self.forced_min_dispatches,
+            "mean_waiting_ms": self.mean_waiting_ms,
+            "total_vgpu_ms": self.total_vgpu_ms,
+            "total_vcpu_ms": self.total_vcpu_ms,
+        }
+
+
+@dataclass
+class MetricsCollector:
+    """Collects per-request and per-task observations during a run."""
+
+    policy_name: str = ""
+    setting_name: str = ""
+    requests: list[Request] = field(default_factory=list)
+    tasks: list[Task] = field(default_factory=list)
+    overhead_ms_samples: list[float] = field(default_factory=list)
+    plan_attempts: int = 0
+    plan_misses: int = 0
+    cold_starts: int = 0
+    warm_starts: int = 0
+    local_transfers: int = 0
+    remote_transfers: int = 0
+    forced_min_dispatches: int = 0
+    prewarm_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def register_request(self, request: Request) -> None:
+        """Register an arriving request (the SLO hit-rate denominator)."""
+        self.requests.append(request)
+
+    def record_task(self, task: Task) -> None:
+        """Record a dispatched task and its latency breakdown."""
+        self.tasks.append(task)
+        if task.was_cold_start:
+            self.cold_starts += 1
+        else:
+            self.warm_starts += 1
+
+    def record_overhead(self, overhead_ms: float) -> None:
+        """Record one scheduling-overhead sample (one plan() invocation)."""
+        if overhead_ms < 0:
+            raise ValueError(f"overhead must be >= 0, got {overhead_ms}")
+        self.overhead_ms_samples.append(overhead_ms)
+
+    def record_plan_attempt(self, *, miss: bool) -> None:
+        """Record one attempt to apply a pre-planned configuration."""
+        self.plan_attempts += 1
+        if miss:
+            self.plan_misses += 1
+
+    def record_transfer(self, *, local: bool) -> None:
+        """Record one inter-stage data transfer."""
+        if local:
+            self.local_transfers += 1
+        else:
+            self.remote_transfers += 1
+
+    def record_forced_min_dispatch(self) -> None:
+        """Record a queue dispatched with the minimum config after rechecks."""
+        self.forced_min_dispatches += 1
+
+    def record_prewarm(self) -> None:
+        """Record one prewarm container launch."""
+        self.prewarm_count += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def completed_requests(self, app_name: str | None = None) -> list[Request]:
+        """Requests that finished (optionally filtered by application)."""
+        return [
+            r
+            for r in self.requests
+            if r.is_complete and (app_name is None or r.app_name == app_name)
+        ]
+
+    def slo_hit_rate(self, app_name: str | None = None) -> float:
+        """Fraction of *all* registered requests that completed within SLO."""
+        relevant = [r for r in self.requests if app_name is None or r.app_name == app_name]
+        if not relevant:
+            return 0.0
+        hits = sum(1 for r in relevant if r.slo_hit)
+        return hits / len(relevant)
+
+    def latencies_ms(self, app_name: str | None = None) -> list[float]:
+        """End-to-end latencies of completed requests, in completion order."""
+        done = sorted(self.completed_requests(app_name), key=lambda r: r.completed_ms)
+        return [r.latency_ms for r in done]
+
+    def total_cost_cents(self, app_name: str | None = None) -> float:
+        """Sum of task costs (optionally of one application)."""
+        return sum(
+            t.cost_cents for t in self.tasks if app_name is None or t.app_name == app_name
+        )
+
+    def cost_per_request_cents(self, app_name: str | None = None) -> float:
+        """Total cost divided by the number of registered requests."""
+        relevant = [r for r in self.requests if app_name is None or r.app_name == app_name]
+        if not relevant:
+            return 0.0
+        return self.total_cost_cents(app_name) / len(relevant)
+
+    def plan_miss_rate(self) -> float:
+        """Fraction of plan applications that missed (Table 4)."""
+        if self.plan_attempts == 0:
+            return 0.0
+        return self.plan_misses / self.plan_attempts
+
+    def overhead_summary(self) -> SummaryStats:
+        """Distribution of scheduling overhead per plan() call (Figure 10)."""
+        return summarize(self.overhead_ms_samples)
+
+    def waiting_ms_samples(self) -> list[float]:
+        """Queueing delay of every dispatched task."""
+        return [t.waiting_ms() for t in self.tasks]
+
+    def total_vgpu_ms(self) -> float:
+        """vGPU-milliseconds consumed by all tasks (GPU efficiency metric)."""
+        return sum(t.config.vgpus * t.duration_ms for t in self.tasks)
+
+    def total_vcpu_ms(self) -> float:
+        """vCPU-milliseconds consumed by all tasks."""
+        return sum(t.config.vcpus * t.duration_ms for t in self.tasks)
+
+    def app_names(self) -> list[str]:
+        """Applications observed in this run (sorted)."""
+        return sorted({r.app_name for r in self.requests})
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def summary(self) -> RunSummary:
+        """Condense the run into a :class:`RunSummary`."""
+        latencies = self.latencies_ms()
+        latency_stats = summarize(latencies) if latencies else None
+        overheads = self.overhead_ms_samples
+        overhead_stats = summarize(overheads) if overheads else None
+        waiting = self.waiting_ms_samples()
+        per_app_hit = {app: self.slo_hit_rate(app) for app in self.app_names()}
+        per_app_cost = {app: self.total_cost_cents(app) for app in self.app_names()}
+        per_app_latency = {}
+        for app in self.app_names():
+            app_lat = self.latencies_ms(app)
+            per_app_latency[app] = sum(app_lat) / len(app_lat) if app_lat else 0.0
+
+        return RunSummary(
+            policy=self.policy_name,
+            setting=self.setting_name,
+            num_requests=len(self.requests),
+            num_completed=len(self.completed_requests()),
+            slo_hit_rate=self.slo_hit_rate(),
+            total_cost_cents=self.total_cost_cents(),
+            cost_per_request_cents=self.cost_per_request_cents(),
+            mean_latency_ms=latency_stats.mean if latency_stats else 0.0,
+            p95_latency_ms=latency_stats.p95 if latency_stats else 0.0,
+            mean_overhead_ms=overhead_stats.mean if overhead_stats else 0.0,
+            p95_overhead_ms=overhead_stats.p95 if overhead_stats else 0.0,
+            plan_attempts=self.plan_attempts,
+            plan_misses=self.plan_misses,
+            cold_starts=self.cold_starts,
+            warm_starts=self.warm_starts,
+            local_transfers=self.local_transfers,
+            remote_transfers=self.remote_transfers,
+            forced_min_dispatches=self.forced_min_dispatches,
+            mean_waiting_ms=(sum(waiting) / len(waiting)) if waiting else 0.0,
+            total_vgpu_ms=self.total_vgpu_ms(),
+            total_vcpu_ms=self.total_vcpu_ms(),
+            per_app_slo_hit_rate=per_app_hit,
+            per_app_cost_cents=per_app_cost,
+            per_app_mean_latency_ms=per_app_latency,
+        )

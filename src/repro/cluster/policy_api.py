@@ -1,0 +1,268 @@
+"""The interface between the controller and scheduling policies.
+
+The controller (the platform) owns the AFW job queues, the cluster state
+and the metrics; a *scheduling policy* — ESG or one of the baselines —
+implements two decisions:
+
+1. :meth:`SchedulingPolicy.plan`: given one AFW queue, produce a priority
+   queue of candidate configurations for the jobs at its head;
+2. :meth:`SchedulingPolicy.select_invoker`: given a chosen configuration,
+   pick the worker node to run it on.
+
+Keeping these behind one interface lets the evaluation hold everything else
+constant — the paper stresses that "the only difference is the scheduling
+algorithm".
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.cluster import ClusterState
+from repro.cluster.datatransfer import DataTransferModel
+from repro.profiles.configuration import Configuration, ConfigurationSpace
+from repro.profiles.pricing import PricingModel
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Job, Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.metrics import MetricsCollector
+
+__all__ = [
+    "AFWQueue",
+    "SchedulingContext",
+    "SchedulingDecision",
+    "SchedulingPolicy",
+]
+
+
+@dataclass
+class AFWQueue:
+    """App-function-wise job queue (Section 3.1).
+
+    One queue exists per (application, stage) pair — even if two
+    applications share the same DNN function they get separate queues, which
+    is what enables the per-application data-locality policy.
+    """
+
+    app_name: str
+    stage_id: str
+    function_name: str
+    workflow: Workflow
+    jobs: deque[Job] = field(default_factory=deque)
+    #: How many controller rounds this queue has spent in the recheck list.
+    recheck_rounds: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Dictionary key of the queue: (application, stage)."""
+        return (self.app_name, self.stage_id)
+
+    # ------------------------------------------------------------------
+    # Mutation (controller only)
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Append a job (jobs are kept in ready-time order)."""
+        if job.stage_id != self.stage_id or job.app_name != self.app_name:
+            raise ValueError(
+                f"job for ({job.app_name}, {job.stage_id}) pushed to queue {self.key}"
+            )
+        self.jobs.append(job)
+
+    def pop_batch(self, batch_size: int) -> list[Job]:
+        """Remove and return the ``batch_size`` oldest jobs."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_size > len(self.jobs):
+            raise ValueError(
+                f"queue {self.key} holds {len(self.jobs)} jobs; cannot pop {batch_size}"
+            )
+        return [self.jobs.popleft() for _ in range(batch_size)]
+
+    # ------------------------------------------------------------------
+    # Read-only views (policies)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no job is waiting."""
+        return not self.jobs
+
+    def oldest_job(self) -> Job:
+        """The job waiting the longest (head of the queue)."""
+        if not self.jobs:
+            raise IndexError(f"queue {self.key} is empty")
+        return self.jobs[0]
+
+    def jobs_snapshot(self) -> tuple[Job, ...]:
+        """Immutable snapshot of the queued jobs."""
+        return tuple(self.jobs)
+
+    def max_waiting_ms(self, now_ms: float) -> float:
+        """Longest waiting time among queued jobs (0.0 when empty)."""
+        if not self.jobs:
+            return 0.0
+        return max(job.waiting_ms(now_ms) for job in self.jobs)
+
+    def min_remaining_budget_ms(self, now_ms: float) -> float:
+        """Remaining SLO budget of the most urgent queued request."""
+        if not self.jobs:
+            raise IndexError(f"queue {self.key} is empty")
+        return min(job.remaining_budget_ms(now_ms) for job in self.jobs)
+
+    def most_urgent_request(self, now_ms: float) -> Request:
+        """The queued request closest to its deadline."""
+        if not self.jobs:
+            raise IndexError(f"queue {self.key} is empty")
+        job = min(self.jobs, key=lambda j: j.remaining_budget_ms(now_ms))
+        return job.request
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may consult when planning.
+
+    Handed to the policy once via :meth:`SchedulingPolicy.bind` before the
+    simulation starts, so policies can precompute (dominator trees, SLO
+    distributions, offline BO training, ...).
+    """
+
+    profile_store: ProfileStore
+    cluster: ClusterState
+    config_space: ConfigurationSpace
+    pricing: PricingModel
+    workflows: dict[str, Workflow]
+    transfer_model: DataTransferModel = field(default_factory=DataTransferModel)
+
+
+@dataclass
+class SchedulingDecision:
+    """Output of :meth:`SchedulingPolicy.plan` for one AFW queue.
+
+    Parameters
+    ----------
+    candidates:
+        Configuration priority queue for the *current* stage, best first
+        (for ESG: lowest estimated resource cost).  The controller tries
+        them in order until one fits on some invoker.
+    planned_path:
+        Optional full per-stage plan (used by static planners and for
+        diagnostics).
+    used_preplanned:
+        True when the decision comes from a configuration planned ahead of
+        time (static planners such as Orion and Aquatope).  The controller
+        counts these as "plan attempts" for the Table 4 miss-rate metric.
+    plan_miss:
+        True when a pre-planned configuration could not be applied (e.g. its
+        batch size exceeds the queue length) — the Table 4 metric.
+    reported_overhead_ms:
+        If set, the controller charges this value as scheduling overhead
+        instead of the measured wall-clock planning time (used by Orion's
+        search-cutoff experiment, where the overhead is a controlled
+        variable).
+    """
+
+    candidates: Sequence[Configuration]
+    planned_path: dict[str, Configuration] | None = None
+    used_preplanned: bool = False
+    plan_miss: bool = False
+    reported_overhead_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.candidates) == 0:
+            raise ValueError("a SchedulingDecision needs at least one candidate configuration")
+
+    @property
+    def best(self) -> Configuration:
+        """The highest-priority candidate."""
+        return self.candidates[0]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Interface implemented by ESG and by every baseline scheduler."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._context: SchedulingContext | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, context: SchedulingContext) -> None:
+        """Attach the scheduling context; called once before the run starts."""
+        self._context = context
+        self.on_bind(context)
+
+    def on_bind(self, context: SchedulingContext) -> None:
+        """Hook for per-run precomputation (override as needed)."""
+
+    @property
+    def context(self) -> SchedulingContext:
+        """The bound context (raises if :meth:`bind` was not called)."""
+        if self._context is None:
+            raise RuntimeError(f"policy {self.name!r} has not been bound to a context")
+        return self._context
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def plan(self, queue: AFWQueue, now_ms: float) -> SchedulingDecision | None:
+        """Produce candidate configurations for the jobs in ``queue``.
+
+        Returning ``None`` means "do not schedule this queue right now".
+        """
+
+    def select_invoker(
+        self, config: Configuration, queue: AFWQueue, now_ms: float
+    ) -> int | None:
+        """Pick the invoker to run a task of ``config`` for ``queue``.
+
+        The default implements OpenWhisk's behaviour: the home invoker if it
+        has capacity, otherwise a deterministic scan over the other nodes,
+        preferring ones with a warm container.  Policies override this —
+        ESG with its locality-first dispatch, INFless/FaST-GShare with
+        fragmentation-minimising placement.
+
+        Returns the invoker id, or ``None`` if no node can host ``config``.
+        """
+        cluster = self.context.cluster
+        home = cluster.home_invoker_id(queue.app_name, queue.function_name)
+        if cluster.invoker(home).can_fit(config):
+            return home
+        n = len(cluster)
+        warm_fallback: int | None = None
+        for offset in range(1, n):
+            candidate = (home + offset) % n
+            invoker = cluster.invoker(candidate)
+            if not invoker.can_fit(config):
+                continue
+            if invoker.has_warm_container(queue.function_name, now_ms):
+                return candidate
+            if warm_fallback is None:
+                warm_fallback = candidate
+        return warm_fallback
+
+    # ------------------------------------------------------------------
+    # Capability flags used by the ablation study
+    # ------------------------------------------------------------------
+    @property
+    def uses_gpu_sharing(self) -> bool:
+        """False when the policy always grabs whole GPUs (ablation)."""
+        return True
+
+    @property
+    def uses_batching(self) -> bool:
+        """False when the policy never batches jobs (ablation)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

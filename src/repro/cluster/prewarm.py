@@ -1,0 +1,205 @@
+"""EWMA-based container prewarming.
+
+Section 4 of the paper: "We use proxy threads to monitor the function call
+intervals, predict subsequent invocations, and preemptively warm up
+instances. ... We use a lightweight method for prewarming.  It uses
+Exponential Weighted Moving Average (EWMA) to predict the invocation
+intervals of functions and pre-warms the function instances accordingly.
+After pre-warming, ESG uses the same keep-alive policy as OpenWhisk, to keep
+the instance alive for 10 minutes."
+
+The manager tracks, per (application, function), the EWMA of observed
+inter-arrival intervals and the observed mean service time, derives the
+number of concurrently needed instances (Little's law style:
+``rate x service_time``), and asks the controller to launch prewarm
+containers whenever fewer instances than that are resident.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import ClusterState
+from repro.cluster.container import Container, ContainerState
+from repro.profiles.profiler import ProfileStore
+from repro.utils.stats import EWMA
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["PrewarmManager", "PrewarmPlan"]
+
+
+@dataclass(frozen=True)
+class PrewarmPlan:
+    """A request to start one container ahead of demand."""
+
+    function_name: str
+    invoker_id: int
+    ready_at_ms: float
+
+
+@dataclass
+class _FunctionDemand:
+    """Per-(app, function) observation state."""
+
+    interval_ewma: EWMA = field(default_factory=lambda: EWMA(alpha=0.3))
+    last_arrival_ms: float | None = None
+    observed_arrivals: int = 0
+
+
+@dataclass
+class PrewarmManager:
+    """Predicts demand per function and emits prewarm plans.
+
+    Parameters
+    ----------
+    profile_store:
+        Used for cold-start and service-time estimates.
+    safety_factor:
+        Multiplier on the estimated concurrency (headroom for burstiness).
+    max_warm_per_function:
+        Cap on the number of resident containers the prewarmer will create
+        for a single function (cluster-wide).
+    enabled:
+        When False the manager observes but never emits plans (for
+        ablations and tests).
+    """
+
+    profile_store: ProfileStore
+    safety_factor: float = 1.2
+    max_warm_per_function: int = 8
+    enabled: bool = True
+    _demand: dict[tuple[str, str], _FunctionDemand] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.safety_factor, "safety_factor")
+        if self.max_warm_per_function < 1:
+            raise ValueError("max_warm_per_function must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe_arrival(self, app_name: str, function_name: str, now_ms: float) -> None:
+        """Record one job arrival for (application, function) at ``now_ms``."""
+        ensure_non_negative(now_ms, "now_ms")
+        key = (app_name, function_name)
+        demand = self._demand.setdefault(key, _FunctionDemand())
+        if demand.last_arrival_ms is not None:
+            interval = max(0.1, now_ms - demand.last_arrival_ms)
+            demand.interval_ewma.update(interval)
+        demand.last_arrival_ms = now_ms
+        demand.observed_arrivals += 1
+
+    def predicted_interval_ms(self, app_name: str, function_name: str) -> float | None:
+        """EWMA-predicted inter-arrival interval, or ``None`` if unobserved."""
+        demand = self._demand.get((app_name, function_name))
+        if demand is None:
+            return None
+        return demand.interval_ewma.value
+
+    def predicted_next_arrival_ms(self, app_name: str, function_name: str) -> float | None:
+        """Predicted absolute time of the next arrival, or ``None``."""
+        demand = self._demand.get((app_name, function_name))
+        if demand is None or demand.last_arrival_ms is None:
+            return None
+        interval = demand.interval_ewma.value
+        if interval is None:
+            return None
+        return demand.last_arrival_ms + interval
+
+    # ------------------------------------------------------------------
+    # Demand estimation
+    # ------------------------------------------------------------------
+    def desired_warm_instances(self, function_name: str) -> int:
+        """Number of resident containers the function should have cluster-wide.
+
+        Aggregates the predicted arrival rate of the function over all
+        applications that invoke it and multiplies by the (minimum
+        configuration) service time — the steady-state number of busy
+        instances — padded by ``safety_factor``.
+        """
+        total_rate_per_ms = 0.0
+        for (app, fn), demand in self._demand.items():
+            if fn != function_name:
+                continue
+            interval = demand.interval_ewma.value
+            if interval is None or demand.observed_arrivals < 2:
+                # Too few observations: assume one instance is enough.
+                total_rate_per_ms += 0.0
+                continue
+            total_rate_per_ms += 1.0 / interval
+        if total_rate_per_ms == 0.0:
+            return 1
+        service_ms = self.profile_store.profile(function_name).latency_ms(
+            self.profile_store.space.minimum
+        )
+        concurrency = total_rate_per_ms * service_ms * self.safety_factor
+        return int(min(self.max_warm_per_function, max(1, math.ceil(concurrency))))
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, cluster: ClusterState, now_ms: float) -> list[PrewarmPlan]:
+        """Emit prewarm plans for functions short on resident containers.
+
+        A function's resident count includes warm, busy and currently
+        starting containers anywhere in the cluster, so repeated calls do
+        not double-prewarm.
+        """
+        if not self.enabled:
+            return []
+        plans: list[PrewarmPlan] = []
+        functions = sorted({fn for (_, fn) in self._demand})
+        for fn in functions:
+            desired = self.desired_warm_instances(fn)
+            resident = self._resident_count(cluster, fn, now_ms)
+            missing = desired - resident
+            if missing <= 0:
+                continue
+            cold_start_ms = self.profile_store.profile(fn).spec.cold_start_ms
+            for _ in range(missing):
+                invoker_id = self._pick_invoker(cluster, fn, now_ms)
+                if invoker_id is None:
+                    break
+                plans.append(
+                    PrewarmPlan(
+                        function_name=fn,
+                        invoker_id=invoker_id,
+                        ready_at_ms=now_ms + cold_start_ms,
+                    )
+                )
+                # Immediately register the starting container so the next
+                # iteration sees it as resident.
+                container = Container(
+                    function_name=fn,
+                    invoker_id=invoker_id,
+                    state=ContainerState.STARTING,
+                    warm_at_ms=now_ms + cold_start_ms,
+                )
+                cluster.invoker(invoker_id).add_container(container)
+        return plans
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resident_count(cluster: ClusterState, function_name: str, now_ms: float) -> int:
+        count = 0
+        for invoker in cluster:
+            for container in invoker.containers_for(function_name):
+                if container.state in (ContainerState.WARM, ContainerState.BUSY, ContainerState.STARTING):
+                    count += 1
+        return count
+
+    @staticmethod
+    def _pick_invoker(cluster: ClusterState, function_name: str, now_ms: float) -> int | None:
+        """Choose a node for a new container: fewest containers of the function, then most free vGPUs."""
+        best_id: int | None = None
+        best_key: tuple[int, float] | None = None
+        for invoker in cluster:
+            existing = len(invoker.containers_for(function_name))
+            key = (existing, -invoker.available_vgpus)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_id = invoker.invoker_id
+        return best_id

@@ -1,0 +1,222 @@
+"""The discrete-event simulation driver.
+
+:class:`Simulation` wires a workload (a list of requests), a scheduling
+policy and the platform substrate (cluster, controller, prewarmer, metrics)
+into one reproducible run and executes events until every request has
+completed (or a configurable horizon is reached).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.cluster import ClusterConfig, ClusterState
+from repro.cluster.controller import Controller, ControllerConfig
+from repro.cluster.datatransfer import DataTransferModel
+from repro.cluster.events import (
+    Event,
+    PrewarmCompleteEvent,
+    RequestArrivalEvent,
+    SchedulerTickEvent,
+    TaskCompletionEvent,
+)
+from repro.cluster.metrics import MetricsCollector, RunSummary
+from repro.cluster.policy_api import SchedulingContext, SchedulingPolicy
+from repro.cluster.prewarm import PrewarmManager
+from repro.profiles.configuration import ConfigurationSpace
+from repro.profiles.perf_model import (
+    AnalyticalPerformanceModel,
+    NoisyPerformanceModel,
+    PerformanceModel,
+)
+from repro.profiles.pricing import PricingModel
+from repro.profiles.profiler import ProfileStore
+from repro.utils.rng import derive_rng
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Request
+
+__all__ = ["EventLoop", "SimulationConfig", "Simulation"]
+
+
+class EventLoop:
+    """A min-heap of events ordered by time (ties broken by insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (event.time_ms, next(self._counter), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("event loop is empty")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float:
+        """Time of the earliest pending event."""
+        if not self._heap:
+            raise IndexError("event loop is empty")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """True when no event is pending."""
+        return not self._heap
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Reproducible configuration of one simulated run."""
+
+    seed: int = 42
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    noise_sigma: float = 0.05
+    #: Hard stop (ms of simulated time); inf = run until all events drain.
+    max_time_ms: float = float("inf")
+    #: Safety valve on the number of processed events.
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+
+
+class Simulation:
+    """One run: a policy scheduling a request stream on the emulated cluster."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        requests: Sequence[Request],
+        profile_store: ProfileStore,
+        *,
+        config: SimulationConfig | None = None,
+        runtime_perf_model: PerformanceModel | None = None,
+        transfer_model: DataTransferModel | None = None,
+        setting_name: str = "",
+    ) -> None:
+        if not requests:
+            raise ValueError("a simulation needs at least one request")
+        self.config = config or SimulationConfig()
+        self.policy = policy
+        self.requests = list(requests)
+        self.profile_store = profile_store
+        self.cluster = ClusterState(config=self.config.cluster)
+        self.metrics = MetricsCollector(policy_name=policy.name, setting_name=setting_name)
+        self.events = EventLoop()
+        self.now_ms = 0.0
+        self._tick_scheduled = False
+        self._processed_events = 0
+
+        if runtime_perf_model is None:
+            runtime_perf_model = NoisyPerformanceModel(
+                base=AnalyticalPerformanceModel(),
+                rng=derive_rng(self.config.seed, "runtime-noise", policy.name),
+                sigma=self.config.noise_sigma,
+            )
+        self.runtime_perf_model = runtime_perf_model
+        self.transfer_model = transfer_model or DataTransferModel()
+
+        prewarmer = PrewarmManager(
+            profile_store=profile_store, enabled=self.config.controller.prewarm_enabled
+        )
+        self.controller = Controller(
+            policy=policy,
+            cluster=self.cluster,
+            profile_store=profile_store,
+            runtime_perf_model=self.runtime_perf_model,
+            pricing=profile_store.pricing,
+            metrics=self.metrics,
+            transfer_model=self.transfer_model,
+            config=self.config.controller,
+            prewarmer=prewarmer,
+            event_sink=self.events.push,
+        )
+
+        workflows: dict[str, Workflow] = {}
+        for request in self.requests:
+            workflows.setdefault(request.app_name, request.workflow)
+            self.controller.register_workflow(request.workflow)
+        self.controller.initialize_warm_pool()
+
+        context = SchedulingContext(
+            profile_store=profile_store,
+            cluster=self.cluster,
+            config_space=profile_store.space,
+            pricing=profile_store.pricing,
+            workflows=workflows,
+            transfer_model=self.transfer_model,
+        )
+        policy.bind(context)
+
+        for request in self.requests:
+            self.events.push(RequestArrivalEvent(time_ms=request.arrival_ms, request=request))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunSummary:
+        """Process events until the workload drains; returns the run summary."""
+        while not self.events.empty:
+            if self._processed_events >= self.config.max_events:
+                break
+            event = self.events.pop()
+            if event.time_ms > self.config.max_time_ms:
+                break
+            self.now_ms = max(self.now_ms, event.time_ms)
+            self._handle(event)
+            self._processed_events += 1
+            self._maybe_schedule_tick()
+        return self.metrics.summary()
+
+    def _handle(self, event: Event) -> None:
+        if isinstance(event, RequestArrivalEvent):
+            self.controller.on_request_arrival(event.request, self.now_ms)
+        elif isinstance(event, TaskCompletionEvent):
+            self.controller.on_task_completion(event.task, self.now_ms)
+        elif isinstance(event, SchedulerTickEvent):
+            self._tick_scheduled = False
+            self.controller.on_tick(self.now_ms)
+        elif isinstance(event, PrewarmCompleteEvent):
+            self.controller.on_prewarm_complete(event.container, self.now_ms)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event type {type(event).__name__}")
+
+    def _maybe_schedule_tick(self) -> None:
+        """Keep the controller ticking while work is pending."""
+        if self._tick_scheduled:
+            return
+        if not self.controller.has_pending_work():
+            return
+        self._tick_scheduled = True
+        self.events.push(
+            SchedulerTickEvent(time_ms=self.now_ms + self.config.controller.tick_interval_ms)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and experiments)
+    # ------------------------------------------------------------------
+    @property
+    def processed_events(self) -> int:
+        """Number of events handled so far."""
+        return self._processed_events
+
+    def config_space(self) -> ConfigurationSpace:
+        """The configuration space the run uses."""
+        return self.profile_store.space
+
+    def pricing(self) -> PricingModel:
+        """The pricing model the run uses."""
+        return self.profile_store.pricing

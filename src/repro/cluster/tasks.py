@@ -1,0 +1,89 @@
+"""Task records: a batched function invocation dispatched to an invoker."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.profiles.configuration import Configuration
+from repro.workloads.request import Job
+
+__all__ = ["Task"]
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """One batched invocation of a serverless function on one invoker.
+
+    The latency breakdown mirrors what the emulation charges a task for:
+    scheduling overhead (optionally), a cold start if no warm container was
+    available, inter-stage data transfer (local or remote depending on
+    placement), and the execution time predicted by the (noisy) performance
+    model.
+    """
+
+    app_name: str
+    stage_id: str
+    function_name: str
+    jobs: list[Job]
+    config: Configuration
+    invoker_id: int
+    #: When the controller dispatched the task.
+    dispatch_ms: float
+    #: Scheduling overhead charged before the task starts.
+    overhead_ms: float = 0.0
+    cold_start_ms: float = 0.0
+    transfer_ms: float = 0.0
+    exec_ms: float = 0.0
+    #: Cost of holding the task's resources for its whole duration (cents).
+    cost_cents: float = 0.0
+    policy_name: str = ""
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a task must contain at least one job")
+        if len(self.jobs) > self.config.batch_size:
+            raise ValueError(
+                f"task holds {len(self.jobs)} jobs but its configuration only "
+                f"allows a batch of {self.config.batch_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived times
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Number of jobs actually batched (may be below the config's batch)."""
+        return len(self.jobs)
+
+    @property
+    def start_ms(self) -> float:
+        """When the task starts occupying resources."""
+        return self.dispatch_ms + self.overhead_ms
+
+    @property
+    def duration_ms(self) -> float:
+        """Resource-holding duration (cold start + transfer + execution)."""
+        return self.cold_start_ms + self.transfer_ms + self.exec_ms
+
+    @property
+    def finish_ms(self) -> float:
+        """Absolute completion time."""
+        return self.start_ms + self.duration_ms
+
+    @property
+    def was_cold_start(self) -> bool:
+        """True if the task paid a cold start."""
+        return self.cold_start_ms > 0.0
+
+    @property
+    def cost_per_job_cents(self) -> float:
+        """Task cost split evenly over its jobs."""
+        return self.cost_cents / len(self.jobs)
+
+    def waiting_ms(self) -> float:
+        """Mean time the task's jobs spent queueing before dispatch."""
+        return sum(max(0.0, self.dispatch_ms - j.ready_ms) for j in self.jobs) / len(self.jobs)

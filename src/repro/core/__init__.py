@@ -1,0 +1,46 @@
+"""The ESG scheduling algorithm (the paper's contribution).
+
+* :mod:`repro.core.esg_1q` — the per-queue configuration-path search
+  (A*/best-first over the staged configuration space) with dual-blade
+  pruning and K-best output;
+* :mod:`repro.core.dominator` — dominator-tree construction, ANL labelling,
+  reduction, stage grouping and SLO distribution;
+* :mod:`repro.core.dispatch` — the locality-first ESG_Dispatch node
+  selection;
+* :mod:`repro.core.esg` — :class:`ESGPolicy`, gluing the pieces into a
+  :class:`repro.cluster.policy_api.SchedulingPolicy` with per-stage
+  adaptive re-planning.
+"""
+
+from repro.core.bounds import PathBounds, SuffixBounds
+from repro.core.bruteforce import brute_force_search
+from repro.core.config import Configuration, ConfigurationSpace
+from repro.core.dispatch import locality_first_invoker
+from repro.core.dominator import (
+    DominatorTree,
+    SLODistribution,
+    StageGroup,
+    compute_anl,
+    distribute_slo,
+)
+from repro.core.esg import ESGPolicy
+from repro.core.esg_1q import ESG1QResult, PathCandidate, StageSearchSpec, esg_1q_search
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "PathBounds",
+    "SuffixBounds",
+    "brute_force_search",
+    "locality_first_invoker",
+    "DominatorTree",
+    "SLODistribution",
+    "StageGroup",
+    "compute_anl",
+    "distribute_slo",
+    "ESGPolicy",
+    "ESG1QResult",
+    "PathCandidate",
+    "StageSearchSpec",
+    "esg_1q_search",
+]

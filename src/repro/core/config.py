@@ -1,0 +1,25 @@
+"""Re-export of the configuration model under the paper-facing ``core`` API.
+
+The :class:`Configuration` triple and :class:`ConfigurationSpace` live in
+:mod:`repro.profiles.configuration` (the profiler needs them and the import
+graph must stay acyclic); schedulers and user code are encouraged to import
+them from here.
+"""
+
+from repro.profiles.configuration import (
+    DEFAULT_BATCH_OPTIONS,
+    DEFAULT_VCPU_OPTIONS,
+    DEFAULT_VGPU_OPTIONS,
+    Configuration,
+    ConfigurationSpace,
+    product_space_size,
+)
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "product_space_size",
+    "DEFAULT_BATCH_OPTIONS",
+    "DEFAULT_VCPU_OPTIONS",
+    "DEFAULT_VGPU_OPTIONS",
+]

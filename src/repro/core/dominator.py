@@ -1,0 +1,381 @@
+"""Dominator-based SLO distribution (Section 3.3, "Dominator-based SLO
+Distribution for Scalability").
+
+Even with dual-blade pruning, searching the joint configuration space of a
+long call sequence is expensive (the configuration space grows as ``m**k``).
+ESG therefore splits the workflow's stages into *function groups* of bounded
+size, assigns each group a share of the end-to-end SLO, and runs ESG_1Q
+inside a group only.  The split is driven by the structure of the DAG:
+
+1. build the **dominator tree** of the workflow DAG (as in compiler
+   analysis: A dominates B when every path from the root to B passes
+   through A);
+2. label every stage with its **average normalised length (ANL)** — the
+   average, over all configurations, of the stage's latency divided by the
+   summed latency of all stages under the same configuration;
+3. traverse the dominator tree bottom-up, **reducing** parallel branches
+   into a single synthetic node whose ANL is the maximum branch ANL sum;
+4. partition the resulting sequential list into groups of at most ``g``
+   consecutive nodes (reduced nodes stay alone), and assign each group a
+   share of the SLO proportional to its ANL; the reduction is then reversed
+   so stages inside reduced branches receive their own quotas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.dag import Workflow
+
+__all__ = [
+    "DominatorTree",
+    "compute_anl",
+    "StageGroup",
+    "SLODistribution",
+    "distribute_slo",
+]
+
+#: Name of the synthetic root inserted when a workflow has several sources.
+VIRTUAL_ROOT = "__root__"
+
+
+# ----------------------------------------------------------------------
+# Dominator tree
+# ----------------------------------------------------------------------
+@dataclass
+class DominatorTree:
+    """Dominator relation of a workflow DAG.
+
+    Built with the classic iterative data-flow formulation
+    ``dom(v) = {v} | intersection over predecessors p of dom(p)``, which is
+    ample for the small DAGs of serverless applications.
+    """
+
+    workflow: Workflow
+    root: str = field(init=False)
+    _dom: dict[str, frozenset[str]] = field(init=False, repr=False)
+    _idom: dict[str, str | None] = field(init=False, repr=False)
+    _children: dict[str, list[str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        wf = self.workflow
+        wf.validate()
+        sources = wf.sources()
+        nodes = wf.topological_order()
+        preds: dict[str, list[str]] = {sid: wf.predecessors(sid) for sid in nodes}
+        if len(sources) == 1:
+            self.root = sources[0]
+        else:
+            self.root = VIRTUAL_ROOT
+            nodes = [VIRTUAL_ROOT] + nodes
+            preds[VIRTUAL_ROOT] = []
+            for src in sources:
+                preds[src] = preds[src] + [VIRTUAL_ROOT]
+
+        all_nodes = frozenset(nodes)
+        dom: dict[str, frozenset[str]] = {n: all_nodes for n in nodes}
+        dom[self.root] = frozenset([self.root])
+
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if node == self.root:
+                    continue
+                incoming = [dom[p] for p in preds[node]]
+                new = frozenset.intersection(*incoming) if incoming else frozenset()
+                new = new | {node}
+                if new != dom[node]:
+                    dom[node] = new
+                    changed = True
+        self._dom = dom
+
+        # Immediate dominator: the strict dominator that is dominated by all
+        # the node's other strict dominators.
+        idom: dict[str, str | None] = {self.root: None}
+        for node in nodes:
+            if node == self.root:
+                continue
+            strict = dom[node] - {node}
+            candidate = None
+            for u in strict:
+                if all(w == u or w in dom[u] for w in strict):
+                    candidate = u
+                    break
+            idom[node] = candidate
+        self._idom = idom
+
+        children: dict[str, list[str]] = {n: [] for n in nodes}
+        topo_index = {n: i for i, n in enumerate(nodes)}
+        for node, parent in idom.items():
+            if parent is not None:
+                children[parent].append(node)
+        for node in children:
+            children[node].sort(key=lambda n: topo_index[n])
+        self._children = children
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def dominators(self, stage_id: str) -> frozenset[str]:
+        """All dominators of ``stage_id`` (including itself)."""
+        return self._dom[stage_id]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if ``a`` dominates ``b``."""
+        return a in self._dom[b]
+
+    def immediate_dominator(self, stage_id: str) -> str | None:
+        """The immediate dominator (``None`` for the root)."""
+        return self._idom[stage_id]
+
+    def children(self, stage_id: str) -> list[str]:
+        """Dominator-tree children (topological order)."""
+        return list(self._children[stage_id])
+
+    def nodes(self) -> list[str]:
+        """All nodes of the dominator tree (including a virtual root, if any)."""
+        return list(self._children)
+
+    @property
+    def has_virtual_root(self) -> bool:
+        """True if a synthetic root was inserted for a multi-source DAG."""
+        return self.root == VIRTUAL_ROOT
+
+
+# ----------------------------------------------------------------------
+# Average normalised length
+# ----------------------------------------------------------------------
+def compute_anl(workflow: Workflow, profile_store: ProfileStore) -> dict[str, float]:
+    """Average normalised length of every stage (Section 3.3, step 2).
+
+    For every configuration ``c`` of the shared configuration space, the
+    normalised length of stage ``i`` is ``t_i(c) / sum_j t_j(c)``; the ANL
+    is the mean of that quantity over all configurations.
+    """
+    stage_ids = workflow.topological_order()
+    functions = {sid: workflow.function_of(sid) for sid in stage_ids}
+    profiles = {sid: profile_store.profile(functions[sid]) for sid in stage_ids}
+
+    anl = {sid: 0.0 for sid in stage_ids}
+    configs = profile_store.space.configurations()
+    for config in configs:
+        latencies = {sid: profiles[sid].latency_ms(config) for sid in stage_ids}
+        total = sum(latencies.values())
+        for sid in stage_ids:
+            anl[sid] += latencies[sid] / total
+    n = len(configs)
+    return {sid: value / n for sid, value in anl.items()}
+
+
+# ----------------------------------------------------------------------
+# Groups and the distribution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageGroup:
+    """One function group with its SLO share."""
+
+    index: int
+    stage_ids: tuple[str, ...]
+    slo_fraction: float
+    stage_anl: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.stage_ids:
+            raise ValueError("a stage group must contain at least one stage")
+        if self.slo_fraction < 0:
+            raise ValueError("slo_fraction must be >= 0")
+
+    @property
+    def anl_total(self) -> float:
+        """Summed ANL of the group's stages."""
+        return sum(self.stage_anl[sid] for sid in self.stage_ids)
+
+    def stage_fraction(self, stage_id: str) -> float:
+        """Share of the end-to-end SLO attributable to one stage of the group."""
+        if stage_id not in self.stage_ids:
+            raise KeyError(f"stage {stage_id!r} is not in group {self.index}")
+        total = self.anl_total
+        if total == 0.0:
+            return self.slo_fraction / len(self.stage_ids)
+        return self.slo_fraction * self.stage_anl[stage_id] / total
+
+    def stages_from(self, stage_id: str) -> tuple[str, ...]:
+        """The group's stages from ``stage_id`` (inclusive) to the group end."""
+        idx = self.stage_ids.index(stage_id)
+        return self.stage_ids[idx:]
+
+
+@dataclass
+class SLODistribution:
+    """The result of dominator-based SLO distribution for one workflow."""
+
+    workflow: Workflow
+    group_size: int
+    anl: dict[str, float]
+    groups: list[StageGroup]
+    _stage_to_group: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        mapping: dict[str, int] = {}
+        for group in self.groups:
+            for sid in group.stage_ids:
+                if sid in mapping:
+                    raise ValueError(f"stage {sid!r} appears in more than one group")
+                mapping[sid] = group.index
+        missing = set(self.workflow.stage_ids()) - set(mapping)
+        if missing:
+            raise ValueError(f"stages {sorted(missing)} are not covered by any group")
+        self._stage_to_group = mapping
+
+    def group_of(self, stage_id: str) -> StageGroup:
+        """The group containing ``stage_id``."""
+        return self.groups[self._stage_to_group[stage_id]]
+
+    def stage_fraction(self, stage_id: str) -> float:
+        """Per-stage share of the end-to-end SLO."""
+        return self.group_of(stage_id).stage_fraction(stage_id)
+
+    def total_fraction(self) -> float:
+        """Sum of all group fractions (1.0 for linear workflows)."""
+        return sum(g.slo_fraction for g in self.groups)
+
+    def group_slo_ms(self, stage_id: str, end_to_end_slo_ms: float) -> float:
+        """Absolute SLO quota of the group containing ``stage_id``."""
+        return self.group_of(stage_id).slo_fraction * end_to_end_slo_ms
+
+
+@dataclass
+class _Item:
+    """A node of the reduced sequential list: a stage or a reduced region."""
+
+    anl: float
+    stage_ids: tuple[str, ...]
+    is_reduced: bool = False
+    branch_items: tuple[tuple["_Item", ...], ...] = ()
+
+
+def _build_item_list(tree: DominatorTree, workflow: Workflow, anl: Mapping[str, float], node: str) -> list[_Item]:
+    """Post-order reduction of the dominator tree into a sequential item list."""
+    items: list[_Item] = []
+    if node != VIRTUAL_ROOT:
+        items.append(_Item(anl=anl[node], stage_ids=(node,)))
+    children = tree.children(node)
+    if not children:
+        return items
+    if len(children) == 1:
+        return items + _build_item_list(tree, workflow, anl, children[0])
+
+    # Several dominator-tree children: the ones reachable (in the DAG) from a
+    # sibling are continuations (typically the join node); the rest are the
+    # parallel branches to reduce.
+    reachable_from = {c: set(workflow.downstream_stages(c)) for c in children}
+    continuations = [
+        c for c in children if any(c in reachable_from[other] for other in children if other != c)
+    ]
+    branches = [c for c in children if c not in continuations]
+    if not branches:
+        # Degenerate (should not happen in a DAG): treat all as continuations.
+        branches, continuations = children[:1], children[1:]
+
+    branch_lists = [tuple(_build_item_list(tree, workflow, anl, b)) for b in branches]
+    reduced_anl = max(sum(item.anl for item in bl) for bl in branch_lists)
+    subsumed = tuple(sid for bl in branch_lists for item in bl for sid in item.stage_ids)
+    items.append(
+        _Item(anl=reduced_anl, stage_ids=subsumed, is_reduced=True, branch_items=tuple(branch_lists))
+    )
+    # Continuations execute after the branches have joined; process them in
+    # topological order.
+    topo_index = {sid: i for i, sid in enumerate(workflow.topological_order())}
+    for cont in sorted(continuations, key=lambda c: topo_index[c]):
+        items.extend(_build_item_list(tree, workflow, anl, cont))
+    return items
+
+
+def _partition_items(
+    items: Sequence[_Item],
+    budget_fraction: float,
+    group_size: int,
+    anl: Mapping[str, float],
+    groups_out: list[StageGroup],
+) -> None:
+    """Partition an item list into groups and append them to ``groups_out``.
+
+    ``budget_fraction`` is the share of the end-to-end SLO allocated to
+    executing this item list sequentially.  Plain items are chunked into
+    groups of at most ``group_size``; a reduced item keeps its share for
+    itself and recursively partitions each of its branches with that full
+    share (branches execute in parallel).
+    """
+    total_anl = sum(item.anl for item in items)
+    if total_anl <= 0.0:
+        total_anl = float(len(items))
+
+    pending: list[_Item] = []
+
+    def flush_pending() -> None:
+        nonlocal pending
+        if not pending:
+            return
+        stage_ids = tuple(sid for item in pending for sid in item.stage_ids)
+        chunk_anl = sum(item.anl for item in pending)
+        fraction = budget_fraction * chunk_anl / total_anl
+        groups_out.append(
+            StageGroup(
+                index=len(groups_out),
+                stage_ids=stage_ids,
+                slo_fraction=fraction,
+                stage_anl={sid: anl[sid] for sid in stage_ids},
+            )
+        )
+        pending = []
+
+    for item in items:
+        if item.is_reduced:
+            flush_pending()
+            region_fraction = budget_fraction * item.anl / total_anl
+            for branch in item.branch_items:
+                _partition_items(branch, region_fraction, group_size, anl, groups_out)
+        else:
+            pending.append(item)
+            if len(pending) >= group_size:
+                flush_pending()
+    flush_pending()
+
+
+def distribute_slo(
+    workflow: Workflow,
+    profile_store: ProfileStore,
+    *,
+    group_size: int = 3,
+    anl: Mapping[str, float] | None = None,
+) -> SLODistribution:
+    """Run the full dominator-based SLO distribution for ``workflow``.
+
+    Parameters
+    ----------
+    workflow:
+        The application DAG.
+    profile_store:
+        Profiles used to compute the ANL labels.
+    group_size:
+        Maximum number of consecutive stages per function group (the paper's
+        default is 3; Section 5.4 reports the search-time blow-up at 4).
+    anl:
+        Precomputed ANL labels (mainly for tests); computed from the
+        profiles when omitted.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    anl_map = dict(anl) if anl is not None else compute_anl(workflow, profile_store)
+    missing = set(workflow.stage_ids()) - set(anl_map)
+    if missing:
+        raise ValueError(f"ANL labels missing for stages {sorted(missing)}")
+
+    tree = DominatorTree(workflow=workflow)
+    items = _build_item_list(tree, workflow, anl_map, tree.root)
+    groups: list[StageGroup] = []
+    _partition_items(items, 1.0, group_size, anl_map, groups)
+    return SLODistribution(workflow=workflow, group_size=group_size, anl=anl_map, groups=groups)

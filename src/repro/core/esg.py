@@ -1,0 +1,278 @@
+"""The ESG scheduling policy.
+
+:class:`ESGPolicy` glues the pieces of the paper's algorithm into a
+:class:`repro.cluster.policy_api.SchedulingPolicy`:
+
+* on bind it runs the dominator-based SLO distribution once per workflow;
+* on every :meth:`plan` call (i.e. before *every* stage's dispatch — the
+  "optimality-guided adaptive" aspect) it derives the latency quota of the
+  current function group from the request's remaining budget and runs the
+  ESG_1Q dual-blade-pruned search over the group's remaining stages;
+* :meth:`select_invoker` implements the locality-first ESG_Dispatch.
+
+Two ablation switches reproduce Figure 12 (``gpu_sharing`` and ``batching``)
+and one reproduces the static-planning comparison (``adaptive=False`` plans
+the whole workflow at the first stage and sticks to it, as Orion/Aquatope
+do).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.policy_api import AFWQueue, SchedulingDecision, SchedulingContext, SchedulingPolicy
+from repro.core.dispatch import locality_first_invoker
+from repro.core.dominator import SLODistribution, distribute_slo
+from repro.core.esg_1q import StageSearchSpec, esg_1q_search
+from repro.profiles.configuration import Configuration
+from repro.profiles.profiler import FunctionProfile, ProfileEntry
+
+__all__ = ["ESGPolicy"]
+
+
+class ESGPolicy(SchedulingPolicy):
+    """ESG: efficient serverless scheduling for shareable GPUs."""
+
+    name = "ESG"
+
+    def __init__(
+        self,
+        *,
+        k: int = 5,
+        group_size: int = 3,
+        adaptive: bool = True,
+        gpu_sharing: bool = True,
+        batching: bool = True,
+        safety_margin: float = 0.12,
+        max_paths: int = 5000,
+        name: str | None = None,
+    ) -> None:
+        """Create the policy.
+
+        Parameters
+        ----------
+        k:
+            Number of solutions kept in the configuration priority queue
+            (the paper's ``K``; default 5, studied in Figure 11).
+        group_size:
+            Maximum function-group size for the dominator-based SLO
+            distribution (default 3, Section 5.4).
+        adaptive:
+            When True (the paper's ESG) the search is re-run before every
+            stage dispatch; when False a whole-workflow plan is computed at
+            the first stage and reused, like the static baselines.
+        gpu_sharing:
+            When False every task is forced to occupy all vGPUs of a GPU
+            (the "without GPU sharing" ablation of Figure 12).
+        batching:
+            When False only batch size 1 is considered (the "without
+            batching" ablation of Figure 12).
+        safety_margin:
+            Fraction of the group's latency quota reserved as head-room for
+            effects the profiles do not capture (performance noise, data
+            transfer, scheduling overhead).  The search target becomes
+            ``quota * (1 - safety_margin)``.
+        max_paths:
+            Safety cap forwarded to the ESG_1Q search.
+        name:
+            Override the reported policy name (used by the ablation study).
+        """
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError(f"safety_margin must be in [0, 1), got {safety_margin}")
+        self.k = k
+        self.group_size = group_size
+        self.adaptive = adaptive
+        self._gpu_sharing = gpu_sharing
+        self._batching = batching
+        self.safety_margin = safety_margin
+        self.max_paths = max_paths
+        if name is not None:
+            self.name = name
+        self._distributions: dict[str, SLODistribution] = {}
+
+    # ------------------------------------------------------------------
+    # SchedulingPolicy lifecycle
+    # ------------------------------------------------------------------
+    def on_bind(self, context: SchedulingContext) -> None:
+        """Precompute the dominator-based SLO distribution of every workflow."""
+        self._distributions = {
+            name: distribute_slo(workflow, context.profile_store, group_size=self.group_size)
+            for name, workflow in context.workflows.items()
+        }
+
+    def distribution_for(self, app_name: str) -> SLODistribution:
+        """The SLO distribution of an application (computed lazily if needed)."""
+        if app_name not in self._distributions:
+            workflow = self.context.workflows[app_name]
+            self._distributions[app_name] = distribute_slo(
+                workflow, self.context.profile_store, group_size=self.group_size
+            )
+        return self._distributions[app_name]
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, queue: AFWQueue, now_ms: float) -> SchedulingDecision | None:
+        """Run ESG_1Q for the queue's current function group."""
+        if queue.is_empty:
+            return None
+        if not self.adaptive:
+            preplanned = self._preplanned_decision(queue, now_ms)
+            if preplanned is not None:
+                return preplanned
+
+        group_stage_ids, target_ms = self._group_and_target(queue, now_ms)
+        stages = self._stage_specs(queue, group_stage_ids)
+        result = esg_1q_search(
+            stages, target_ms, k=self.k, max_paths=self.max_paths
+        )
+        candidates = result.candidate_configs()
+        best = result.best
+        planned = best.as_plan(group_stage_ids) if best is not None else None
+        return SchedulingDecision(candidates=candidates, planned_path=planned)
+
+    def _group_and_target(self, queue: AFWQueue, now_ms: float) -> tuple[list[str], float]:
+        """Determine the remaining group stages and their latency quota.
+
+        The quota follows the dominator-based distribution but is applied to
+        the *remaining* budget of the most urgent queued request, which is
+        what makes ESG adaptive: delays in earlier stages automatically
+        shrink (and slack grows) the quota of later groups.
+        """
+        dist = self.distribution_for(queue.app_name)
+        group = dist.group_of(queue.stage_id)
+        group_stage_ids = list(group.stages_from(queue.stage_id))
+
+        request = queue.most_urgent_request(now_ms)
+        remaining_budget = request.remaining_budget_ms(now_ms)
+        remaining = set(request.remaining_stage_ids())
+        remaining.add(queue.stage_id)
+
+        remaining_total = sum(dist.stage_fraction(sid) for sid in remaining)
+        group_remaining = sum(
+            dist.stage_fraction(sid) for sid in group_stage_ids if sid in remaining
+        )
+        headroom = 1.0 - self.safety_margin
+        if remaining_total <= 0.0:
+            return group_stage_ids, remaining_budget * headroom
+        return (
+            group_stage_ids,
+            remaining_budget * headroom * group_remaining / remaining_total,
+        )
+
+    def _stage_specs(self, queue: AFWQueue, group_stage_ids: list[str]) -> list[StageSearchSpec]:
+        """Build the per-stage search inputs, applying the ablation filters."""
+        store = self.context.profile_store
+        workflow = queue.workflow
+        specs: list[StageSearchSpec] = []
+        for position, stage_id in enumerate(group_stage_ids):
+            profile = store.profile(workflow.function_of(stage_id))
+            max_batch = len(queue) if position == 0 else None
+            entries = self._filtered_entries(profile, max_batch)
+            specs.append(
+                StageSearchSpec(
+                    stage_id=stage_id,
+                    function_name=profile.spec.name,
+                    entries=entries,
+                )
+            )
+        return specs
+
+    def _filtered_entries(
+        self, profile: FunctionProfile, max_batch: int | None
+    ) -> tuple[ProfileEntry, ...]:
+        """Latency-sorted entries honouring the batching / GPU-sharing switches."""
+        space = self.context.config_space
+        entries = profile.sorted_by_latency(max_batch=max_batch)
+        if not self._batching:
+            min_batch = space.batch_options[0]
+            entries = tuple(e for e in entries if e.config.batch_size == min_batch)
+        if not self._gpu_sharing:
+            full_gpu = space.vgpu_options[-1]
+            entries = tuple(e for e in entries if e.config.vgpus == full_gpu)
+        if not entries:
+            # The filters must never leave a stage without options.
+            entries = (profile.fastest_entry,)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Static (non-adaptive) variant used for ablation
+    # ------------------------------------------------------------------
+    def _preplanned_decision(self, queue: AFWQueue, now_ms: float) -> SchedulingDecision | None:
+        """Reuse (or create) a whole-workflow plan instead of re-searching."""
+        job = queue.oldest_job()
+        request = job.request
+        if request.static_plan is None:
+            # First stage of this request: plan the whole workflow once.
+            workflow = queue.workflow
+            stage_ids = workflow.topological_order()
+            stages = self._stage_specs_for_plan(queue, stage_ids)
+            result = esg_1q_search(
+                stages, request.slo_ms, k=self.k, max_paths=self.max_paths
+            )
+            best = result.best
+            if best is None:
+                return None
+            request.static_plan = best.as_plan(stage_ids)
+        planned = request.static_plan.get(queue.stage_id)
+        if planned is None:
+            return None
+        miss = planned.batch_size > len(queue)
+        if miss:
+            request.plan_miss_count += 1
+            planned = planned.with_batch(max(1, len(queue)))
+        return SchedulingDecision(
+            candidates=[planned],
+            planned_path=dict(request.static_plan),
+            used_preplanned=True,
+            plan_miss=miss,
+        )
+
+    def _stage_specs_for_plan(self, queue: AFWQueue, stage_ids: list[str]) -> list[StageSearchSpec]:
+        store = self.context.profile_store
+        workflow = queue.workflow
+        specs = []
+        for position, stage_id in enumerate(stage_ids):
+            profile = store.profile(workflow.function_of(stage_id))
+            max_batch = len(queue) if position == 0 and stage_id == queue.stage_id else None
+            entries = self._filtered_entries(profile, max_batch)
+            specs.append(
+                StageSearchSpec(stage_id=stage_id, function_name=profile.spec.name, entries=entries)
+            )
+        return specs
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def select_invoker(
+        self, config: Configuration, queue: AFWQueue, now_ms: float
+    ) -> int | None:
+        """ESG_Dispatch: predecessor node, home node, warm nodes, cold node."""
+        predecessor_id: int | None = None
+        if not queue.is_empty:
+            job = queue.oldest_job()
+            predecessor_id = job.request.predecessor_invoker(queue.stage_id)
+        return locality_first_invoker(
+            self.context.cluster,
+            queue.app_name,
+            queue.function_name,
+            config,
+            now_ms,
+            predecessor_invoker_id=predecessor_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Ablation flags
+    # ------------------------------------------------------------------
+    @property
+    def uses_gpu_sharing(self) -> bool:
+        """False for the "without GPU sharing" ablation variant."""
+        return self._gpu_sharing
+
+    @property
+    def uses_batching(self) -> bool:
+        """False for the "without batching" ablation variant."""
+        return self._batching

@@ -1,0 +1,44 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain data rows plus a
+``render_*`` helper producing the text table/series printed by the
+benchmarks.  The mapping from paper artefacts to modules is documented in
+DESIGN.md (per-experiment index) and summarised here:
+
+==============  ==========================================
+artefact        module
+==============  ==========================================
+Tables 1-3      :mod:`repro.experiments.tables`
+Figure 5        :mod:`repro.experiments.arrivals`
+Figures 6-8     :mod:`repro.experiments.end_to_end`
+Table 4         :mod:`repro.experiments.miss_rate`
+Figure 9        :mod:`repro.experiments.orion_search`
+Figure 10       :mod:`repro.experiments.overhead`
+Figure 11/5.4   :mod:`repro.experiments.sensitivity`
+Figure 12       :mod:`repro.experiments.ablation`
+==============  ==========================================
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    RunResult,
+    build_profile_store,
+    build_requests,
+    make_policy,
+    run_experiment,
+    run_matrix,
+    run_setting,
+)
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "ExperimentConfig",
+    "RunResult",
+    "build_profile_store",
+    "build_requests",
+    "make_policy",
+    "run_experiment",
+    "run_matrix",
+    "run_setting",
+]

@@ -1,0 +1,101 @@
+"""Figure 12: ablation of the GPU-sharing and batching strategies.
+
+"We individually removed either the GPU-sharing or batching strategy from
+ESG and contrasted the results with the original ESG.  We set a heavy
+workload in this experiment specifically to underline the effects of the
+batching strategy."  Expected shape: without GPU sharing, waiting times grow
+substantially (jobs queue for whole GPUs) and SLO hit rates drop; without
+batching the cost rises while hit rates stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.esg import ESGPolicy
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+__all__ = ["AblationRow", "ablation_variants", "run_figure12", "render_figure12"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Results of one ESG variant in the ablation study."""
+
+    variant: str
+    slo_hit_rate: float
+    total_cost_cents: float
+    cost_normalized_to_esg: float
+    mean_waiting_ms: float
+    mean_latency_ms: float
+    total_vgpu_ms: float
+
+
+def ablation_variants() -> dict[str, ESGPolicy]:
+    """The three ESG variants of the Figure 12 ablation."""
+    return {
+        "ESG": ESGPolicy(),
+        "ESG w/o GPU sharing": ESGPolicy(gpu_sharing=False, name="ESG w/o GPU sharing"),
+        "ESG w/o batching": ESGPolicy(batching=False, name="ESG w/o batching"),
+    }
+
+
+def run_figure12(
+    *,
+    setting: str = "relaxed-heavy",
+    config: ExperimentConfig | None = None,
+    variants: Iterable[tuple[str, ESGPolicy]] | None = None,
+) -> list[AblationRow]:
+    """Run the ablation study under a heavy workload."""
+    config = config or ExperimentConfig()
+    items = list(variants) if variants is not None else list(ablation_variants().items())
+    raw: list[tuple[str, float, float, float, float, float]] = []
+    for label, policy in items:
+        result = run_experiment(policy, setting, config=config)
+        raw.append(
+            (
+                label,
+                result.summary.slo_hit_rate,
+                result.summary.total_cost_cents,
+                result.summary.mean_waiting_ms,
+                result.summary.mean_latency_ms,
+                result.summary.total_vgpu_ms,
+            )
+        )
+    esg_cost = next((cost for label, _, cost, _, _, _ in raw if label == "ESG"), None)
+    rows: list[AblationRow] = []
+    for label, hit, cost, wait, latency, vgpu_ms in raw:
+        rows.append(
+            AblationRow(
+                variant=label,
+                slo_hit_rate=hit,
+                total_cost_cents=cost,
+                cost_normalized_to_esg=(cost / esg_cost if esg_cost else float("nan")),
+                mean_waiting_ms=wait,
+                mean_latency_ms=latency,
+                total_vgpu_ms=vgpu_ms,
+            )
+        )
+    return rows
+
+
+def render_figure12(rows: list[AblationRow]) -> str:
+    """Text rendering of Figure 12."""
+    table_rows = [
+        [
+            r.variant,
+            format_percent(r.slo_hit_rate),
+            r.total_cost_cents,
+            r.cost_normalized_to_esg,
+            r.mean_waiting_ms,
+            r.mean_latency_ms,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["Variant", "SLO hit rate", "Cost (cents)", "Cost / ESG", "Mean waiting (ms)", "Mean latency (ms)"],
+        table_rows,
+        title="Figure 12: GPU-sharing and batching ablation (heavy workload)",
+    )

@@ -1,0 +1,153 @@
+"""Command-line entry point: ``esg-repro <experiment> [options]``.
+
+Examples
+--------
+Regenerate the static tables and the arrival distribution::
+
+    esg-repro tables
+    esg-repro fig5
+
+Run the end-to-end comparison with a smaller workload::
+
+    esg-repro fig6 --requests 80 --seed 7
+
+Run everything (can take several minutes)::
+
+    esg-repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.ablation import render_figure12, run_figure12
+from repro.experiments.arrivals import render_figure5, run_figure5
+from repro.experiments.end_to_end import (
+    figure6_rows,
+    figure7_curves,
+    figure8_rows,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    run_end_to_end,
+)
+from repro.experiments.miss_rate import render_table4, run_table4
+from repro.experiments.orion_search import render_figure9, run_figure9
+from repro.experiments.overhead import (
+    render_bruteforce_comparison,
+    render_figure10,
+    run_bruteforce_comparison,
+    run_figure10,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sensitivity import (
+    render_figure11,
+    render_group_size_search,
+    run_figure11,
+    run_group_size_search,
+)
+from repro.experiments.tables import render_table1, render_table2, render_table3
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(num_requests=args.requests, seed=args.seed)
+
+
+def _cmd_tables(args: argparse.Namespace) -> str:
+    return "\n\n".join([render_table1(), render_table2(), render_table3()])
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    return render_figure5(run_figure5(seed=args.seed))
+
+
+def _cmd_fig6_7_8(args: argparse.Namespace) -> str:
+    results = run_end_to_end(config=_config_from_args(args))
+    parts = [
+        render_figure6(figure6_rows(results)),
+        render_figure7(figure7_curves(results)),
+        render_figure8(figure8_rows(results)),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    results = run_end_to_end(config=_config_from_args(args))
+    return render_figure6(figure6_rows(results))
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    return render_table4(run_table4(config=_config_from_args(args)))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    return render_figure9(run_figure9(config=_config_from_args(args)))
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    parts = [
+        render_figure10(run_figure10(config=_config_from_args(args))),
+        render_bruteforce_comparison(run_bruteforce_comparison()),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_fig11(args: argparse.Namespace) -> str:
+    parts = [
+        render_figure11(run_figure11(config=_config_from_args(args))),
+        render_group_size_search(run_group_size_search()),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_fig12(args: argparse.Namespace) -> str:
+    return render_figure12(run_figure12(config=_config_from_args(args)))
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "tables": _cmd_tables,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "e2e": _cmd_fig6_7_8,
+    "table4": _cmd_table4,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="esg-repro",
+        description="Regenerate the tables and figures of the ESG paper (HPDC 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument("--requests", type=int, default=120, help="requests per run (default 120)")
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed (default 42)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        outputs = [_COMMANDS[name](args) for name in sorted(_COMMANDS)]
+        print("\n\n".join(outputs))
+        return 0
+    print(_COMMANDS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

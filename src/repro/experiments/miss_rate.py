@@ -1,0 +1,72 @@
+"""Table 4: pre-planned scheduling miss rate of the static planners.
+
+"Table 4 shows the percentage of times when the configurations fail to apply
+to a function because the batch size in the configuration is even greater
+than the number of jobs in the queue of that function when it is time to be
+scheduled."  The paper reports 9.6-51.7% for Orion's best-first search and
+58.7-85.5% for Aquatope's BO, growing with workload intensity for Orion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.generator import WORKLOAD_SETTINGS
+
+__all__ = ["MissRateRow", "run_table4", "render_table4"]
+
+
+@dataclass(frozen=True)
+class MissRateRow:
+    """Pre-planned configuration miss rate of one policy under one setting."""
+
+    setting: str
+    policy: str
+    plan_attempts: int
+    plan_misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of plan applications that could not be applied as planned."""
+        if self.plan_attempts == 0:
+            return 0.0
+        return self.plan_misses / self.plan_attempts
+
+
+def run_table4(
+    policies: Iterable[str] = ("Orion", "Aquatope"),
+    settings: Iterable[str] = tuple(WORKLOAD_SETTINGS),
+    *,
+    config: ExperimentConfig | None = None,
+) -> list[MissRateRow]:
+    """Measure the configuration miss rate of the static planners."""
+    config = config or ExperimentConfig()
+    rows: list[MissRateRow] = []
+    for setting in settings:
+        for policy in policies:
+            result = run_experiment(policy, setting, config=config)
+            rows.append(
+                MissRateRow(
+                    setting=setting,
+                    policy=policy,
+                    plan_attempts=result.summary.plan_attempts,
+                    plan_misses=result.summary.plan_misses,
+                )
+            )
+    return rows
+
+
+def render_table4(rows: list[MissRateRow]) -> str:
+    """Text rendering of Table 4."""
+    table_rows = [
+        [r.setting, r.policy, r.plan_attempts, r.plan_misses, format_percent(r.miss_rate)]
+        for r in rows
+    ]
+    return format_table(
+        ["Setting", "Policy", "Plan attempts", "Misses", "Miss rate"],
+        table_rows,
+        title="Table 4: Pre-planned scheduling miss rate",
+    )

@@ -1,0 +1,77 @@
+"""Figure 9: effect of Orion's search time on its SLO hit rate (strict-light).
+
+Orion trades search time for configuration quality: with a generous cutoff
+its best-first search finds decent configurations, but once the search time
+is charged against the request latency the hit rate collapses.  The sweep
+runs the strict-light workload with Orion under several cutoff values,
+twice — once charging the search overhead and once ignoring it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.orion import OrionPolicy
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+__all__ = ["OrionSearchPoint", "run_figure9", "render_figure9", "DEFAULT_CUTOFFS_MS"]
+
+#: The cutoff values on the x-axis of Figure 9.
+DEFAULT_CUTOFFS_MS: tuple[float, ...] = (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0)
+
+
+@dataclass(frozen=True)
+class OrionSearchPoint:
+    """One point of one Figure 9 curve."""
+
+    cutoff_ms: float
+    count_search_overhead: bool
+    slo_hit_rate: float
+    total_cost_cents: float
+    mean_overhead_ms: float
+
+
+def run_figure9(
+    cutoffs_ms: Sequence[float] = DEFAULT_CUTOFFS_MS,
+    *,
+    setting: str = "strict-light",
+    config: ExperimentConfig | None = None,
+) -> list[OrionSearchPoint]:
+    """Sweep Orion's search cutoff with and without charging the overhead."""
+    config = config or ExperimentConfig()
+    points: list[OrionSearchPoint] = []
+    for count_overhead in (False, True):
+        for cutoff in cutoffs_ms:
+            policy = OrionPolicy(cutoff_ms=cutoff, count_search_overhead=count_overhead)
+            result = run_experiment(policy, setting, config=config)
+            points.append(
+                OrionSearchPoint(
+                    cutoff_ms=cutoff,
+                    count_search_overhead=count_overhead,
+                    slo_hit_rate=result.summary.slo_hit_rate,
+                    total_cost_cents=result.summary.total_cost_cents,
+                    mean_overhead_ms=result.summary.mean_overhead_ms,
+                )
+            )
+    return points
+
+
+def render_figure9(points: list[OrionSearchPoint]) -> str:
+    """Text rendering of Figure 9 (two curves over the cutoff values)."""
+    rows = [
+        [
+            p.cutoff_ms,
+            "with overhead" if p.count_search_overhead else "w/o overhead",
+            format_percent(p.slo_hit_rate),
+            p.mean_overhead_ms,
+            p.total_cost_cents,
+        ]
+        for p in sorted(points, key=lambda p: (p.count_search_overhead, p.cutoff_ms))
+    ]
+    return format_table(
+        ["Search cutoff (ms)", "Curve", "SLO hit rate", "Mean overhead (ms)", "Cost (cents)"],
+        rows,
+        title="Figure 9: Orion search-time vs. SLO hit rate (strict-light)",
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering helpers for experiment outputs.
+
+The benchmarks print each reproduced table/figure as an aligned text table;
+keeping the rendering here means the ``run_*`` functions can stay pure data
+producers (easy to test) while benches and the CLI share one formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_percent", "format_series"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a 0-1 fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_digits`` decimals; everything else via
+    ``str``.  Columns are padded to the widest cell.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(str_headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(str_headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str, points: Mapping[object, float] | Sequence[tuple[object, float]], *, digits: int = 3
+) -> str:
+    """Render a named (x, y) series on one line, e.g. for figure curves."""
+    if isinstance(points, Mapping):
+        items = list(points.items())
+    else:
+        items = list(points)
+    body = ", ".join(f"{x}: {y:.{digits}f}" for x, y in items)
+    return f"{name}: {body}"

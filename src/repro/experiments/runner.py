@@ -1,0 +1,268 @@
+"""Shared experiment runner: build workloads, run one (policy, setting) pair.
+
+All figure/table modules build on :func:`run_experiment` /
+:func:`run_matrix`, which guarantee that every policy sees exactly the same
+workload (same seed, same arrival times, same application picks) and the
+same platform configuration — the paper's "the only difference is the
+scheduling algorithm" methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.baselines.aquatope import AquatopePolicy
+from repro.baselines.fastgshare import FaSTGSharePolicy
+from repro.baselines.infless import INFlessPolicy
+from repro.baselines.orion import OrionPolicy
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.controller import ControllerConfig
+from repro.cluster.metrics import MetricsCollector, RunSummary
+from repro.cluster.policy_api import SchedulingPolicy
+from repro.cluster.simulator import Simulation, SimulationConfig
+from repro.core.esg import ESGPolicy
+from repro.profiles.configuration import ConfigurationSpace
+from repro.profiles.profiler import ProfileStore
+from repro.utils.rng import derive_rng
+from repro.workloads.applications import build_paper_applications
+from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadGenerator, WorkloadSetting
+from repro.workloads.request import Request
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "EXPERIMENT_SPACE",
+    "ExperimentConfig",
+    "RunResult",
+    "build_profile_store",
+    "build_requests",
+    "make_policy",
+    "run_experiment",
+    "run_matrix",
+    "run_setting",
+]
+
+#: Policy names in the order the paper's figures list them.
+DEFAULT_POLICIES: tuple[str, ...] = ("ESG", "INFless", "FaST-GShare", "Orion", "Aquatope")
+
+#: Configuration space used by the end-to-end experiments: 4 batch sizes,
+#: 4 vCPU counts, 4 vGPU counts (64 configurations per function).  The
+#: overhead experiments use :meth:`ConfigurationSpace.paper_256` instead.
+EXPERIMENT_SPACE = ConfigurationSpace(
+    batch_options=(1, 2, 4, 8),
+    vcpu_options=(1, 2, 4, 8),
+    vgpu_options=(1, 2, 4, 7),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment run."""
+
+    num_requests: int = 120
+    seed: int = 42
+    noise_sigma: float = 0.05
+    space: ConfigurationSpace = EXPERIMENT_SPACE
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: The evaluation starts from a warm cluster (every function resident on
+    #: every node), reflecting the steady state of a serving deployment: the
+    #: paper's workloads are far shorter than a single cold start, so a cold
+    #: start anywhere would otherwise dominate every metric.  Cold-start
+    #: behaviour itself is exercised by the library's "home"/"none" modes.
+    controller: ControllerConfig = field(
+        default_factory=lambda: ControllerConfig(initial_warm="all")
+    )
+    burstiness: float = 0.0
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class RunResult:
+    """One simulated run with both the summary and the raw metrics."""
+
+    policy_name: str
+    setting: WorkloadSetting
+    summary: RunSummary
+    metrics: MetricsCollector
+    requests: list[Request]
+
+    @property
+    def slo_hit_rate(self) -> float:
+        """Convenience accessor."""
+        return self.summary.slo_hit_rate
+
+    @property
+    def total_cost_cents(self) -> float:
+        """Convenience accessor."""
+        return self.summary.total_cost_cents
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def build_profile_store(space: ConfigurationSpace | None = None) -> ProfileStore:
+    """Profile the six paper functions over ``space`` (default 64 configs)."""
+    return ProfileStore.build(space=space or EXPERIMENT_SPACE)
+
+
+def build_requests(
+    setting: WorkloadSetting | str,
+    num_requests: int,
+    seed: int,
+    profile_store: ProfileStore,
+    *,
+    burstiness: float = 0.0,
+) -> list[Request]:
+    """Generate the request stream for one workload setting.
+
+    The random stream depends only on ``seed`` and the setting name, so
+    every policy evaluated under the same (setting, seed) sees the same
+    arrivals and application mix.
+    """
+    if isinstance(setting, str):
+        setting = WORKLOAD_SETTINGS[setting]
+    generator = WorkloadGenerator(
+        applications=build_paper_applications(),
+        setting=setting,
+        profile_store=profile_store,
+        rng=derive_rng(seed, "workload", setting.name),
+        burstiness=burstiness,
+    )
+    return generator.generate(num_requests)
+
+
+def make_policy(name: str, **overrides) -> SchedulingPolicy:
+    """Instantiate a policy by its paper name (case-insensitive)."""
+    key = name.strip().lower().replace("_", "-")
+    if key in ("esg",):
+        return ESGPolicy(**overrides)
+    if key in ("infless",):
+        return INFlessPolicy(**overrides)
+    if key in ("fast-gshare", "fastgshare", "fast gshare"):
+        return FaSTGSharePolicy(**overrides)
+    if key in ("orion", "best-first", "bfs"):
+        return OrionPolicy(**overrides)
+    if key in ("aquatope", "bo"):
+        return AquatopePolicy(**overrides)
+    raise ValueError(
+        f"unknown policy {name!r}; expected one of {', '.join(DEFAULT_POLICIES)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_experiment(
+    policy: SchedulingPolicy | str,
+    setting: WorkloadSetting | str,
+    *,
+    config: ExperimentConfig | None = None,
+    profile_store: ProfileStore | None = None,
+    requests: Sequence[Request] | None = None,
+) -> RunResult:
+    """Run one policy under one workload setting and return the full result."""
+    config = config or ExperimentConfig()
+    if isinstance(setting, str):
+        setting = WORKLOAD_SETTINGS[setting]
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    if profile_store is None:
+        profile_store = build_profile_store(config.space)
+    if requests is None:
+        requests = build_requests(
+            setting, config.num_requests, config.seed, profile_store, burstiness=config.burstiness
+        )
+    else:
+        requests = list(requests)
+
+    simulation = Simulation(
+        policy=policy,
+        requests=requests,
+        profile_store=profile_store,
+        config=SimulationConfig(
+            seed=config.seed,
+            cluster=config.cluster,
+            controller=config.controller,
+            noise_sigma=config.noise_sigma,
+        ),
+        setting_name=setting.name,
+    )
+    summary = simulation.run()
+    return RunResult(
+        policy_name=policy.name,
+        setting=setting,
+        summary=summary,
+        metrics=simulation.metrics,
+        requests=list(requests),
+    )
+
+
+def run_setting(
+    policy_name: str,
+    setting_name: str,
+    *,
+    num_requests: int = 120,
+    seed: int = 42,
+    **config_overrides,
+) -> RunSummary:
+    """Convenience wrapper returning only the :class:`RunSummary`."""
+    config = ExperimentConfig(num_requests=num_requests, seed=seed).with_overrides(
+        **config_overrides
+    )
+    return run_experiment(policy_name, setting_name, config=config).summary
+
+
+def run_matrix(
+    policies: Iterable[SchedulingPolicy | str] = DEFAULT_POLICIES,
+    settings: Iterable[WorkloadSetting | str] = tuple(WORKLOAD_SETTINGS),
+    *,
+    config: ExperimentConfig | None = None,
+) -> dict[tuple[str, str], RunResult]:
+    """Run every (setting, policy) pair on identical workloads.
+
+    Returns a mapping keyed by ``(setting_name, policy_name)``.  Requests are
+    regenerated per policy from the same seed (each request object carries
+    mutable runtime state, so they cannot be shared across runs) — the
+    arrival times and application picks are identical.
+    """
+    config = config or ExperimentConfig()
+    profile_store = build_profile_store(config.space)
+    results: dict[tuple[str, str], RunResult] = {}
+    for setting in settings:
+        setting_obj = WORKLOAD_SETTINGS[setting] if isinstance(setting, str) else setting
+        for policy in policies:
+            policy_obj = make_policy(policy) if isinstance(policy, str) else policy
+            requests = build_requests(
+                setting_obj,
+                config.num_requests,
+                config.seed,
+                profile_store,
+                burstiness=config.burstiness,
+            )
+            result = run_experiment(
+                policy_obj,
+                setting_obj,
+                config=config,
+                profile_store=profile_store,
+                requests=requests,
+            )
+            results[(setting_obj.name, policy_obj.name)] = result
+    return results
+
+
+# Mapping helpers used by several figure modules -------------------------------
+def summaries_by_policy(
+    results: Mapping[tuple[str, str], RunResult], setting_name: str
+) -> dict[str, RunSummary]:
+    """Extract ``policy -> summary`` for one setting from a matrix result."""
+    return {
+        policy: result.summary
+        for (setting, policy), result in results.items()
+        if setting == setting_name
+    }
+
+
+__all__.append("summaries_by_policy")

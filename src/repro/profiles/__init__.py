@@ -1,0 +1,40 @@
+"""DNN function specifications and performance/cost modelling.
+
+This subpackage is the substitute for the paper's measured performance
+profiles (Section 4, Table 3): the authors profiled six DNN inference
+functions on an A100 under every (batch size, #vCPUs, #vGPUs) configuration
+and drove their emulation from those measurements.  We anchor an analytic
+model at the published minimum-configuration numbers and extend it across
+the configuration cube with standard batching / data-parallel scaling laws.
+"""
+
+from repro.profiles.configuration import Configuration, ConfigurationSpace
+from repro.profiles.perf_model import (
+    AnalyticalPerformanceModel,
+    NoisyPerformanceModel,
+    PerformanceModel,
+)
+from repro.profiles.pricing import PricingModel
+from repro.profiles.profiler import FunctionProfile, ProfileEntry, ProfileStore
+from repro.profiles.specs import (
+    FUNCTION_SPECS,
+    FunctionSpec,
+    get_function_spec,
+    list_function_names,
+)
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "PerformanceModel",
+    "AnalyticalPerformanceModel",
+    "NoisyPerformanceModel",
+    "PricingModel",
+    "FunctionProfile",
+    "ProfileEntry",
+    "ProfileStore",
+    "FunctionSpec",
+    "FUNCTION_SPECS",
+    "get_function_spec",
+    "list_function_names",
+]

@@ -1,0 +1,89 @@
+"""Resource pricing model.
+
+Section 4.1 of the paper: "Following AWS EC2 pricing, we set the price of a
+vCPU to 0.034$/hour.  Based on the pricing of an entire GPU on AWS, we divide
+it by # of vGPUs and set the price of a vGPU to 0.67$/hour."
+
+Costs in this package are expressed in *cents* to match the per-job cost
+examples in Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiles.configuration import Configuration
+from repro.utils.validation import ensure_non_negative
+
+__all__ = ["PricingModel"]
+
+_MS_PER_HOUR = 3_600_000.0
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-resource prices used for cost accounting.
+
+    Parameters
+    ----------
+    vcpu_dollars_per_hour:
+        Hourly price of one vCPU.
+    vgpu_dollars_per_hour:
+        Hourly price of one vGPU (one MIG slice).
+    """
+
+    vcpu_dollars_per_hour: float = 0.034
+    vgpu_dollars_per_hour: float = 0.67
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.vcpu_dollars_per_hour, "vcpu_dollars_per_hour")
+        ensure_non_negative(self.vgpu_dollars_per_hour, "vgpu_dollars_per_hour")
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+    @property
+    def vcpu_cents_per_ms(self) -> float:
+        """Price of one vCPU for one millisecond, in cents."""
+        return self.vcpu_dollars_per_hour * 100.0 / _MS_PER_HOUR
+
+    @property
+    def vgpu_cents_per_ms(self) -> float:
+        """Price of one vGPU for one millisecond, in cents."""
+        return self.vgpu_dollars_per_hour * 100.0 / _MS_PER_HOUR
+
+    def rate_cents_per_ms(self, config: Configuration) -> float:
+        """Combined price per millisecond of holding ``config``'s resources."""
+        return (
+            config.vcpus * self.vcpu_cents_per_ms
+            + config.vgpus * self.vgpu_cents_per_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def task_cost_cents(self, config: Configuration, duration_ms: float) -> float:
+        """Cost of holding ``config``'s resources for ``duration_ms``."""
+        ensure_non_negative(duration_ms, "duration_ms")
+        return self.rate_cents_per_ms(config) * duration_ms
+
+    def per_job_cost_cents(self, config: Configuration, duration_ms: float) -> float:
+        """Cost per job: task cost divided by the batch size.
+
+        This matches the per-job cost formula in Figure 3 of the paper,
+        e.g. ``(0.04 * 4 + 0.8) * 0.9 / 2 = 0.43 cents`` for a 0.9 s task on
+        4 vCPUs + 1 vGPU with batch size 2.
+        """
+        return self.task_cost_cents(config, duration_ms) / config.batch_size
+
+    @classmethod
+    def figure3_example(cls) -> "PricingModel":
+        """The unit prices used in the Figure 3 worked example.
+
+        (1 vCPU: 0.04 cents/s, 1 vGPU: 0.8 cents/s.)  Only used in tests to
+        check the cost arithmetic against the paper's own numbers.
+        """
+        return cls(
+            vcpu_dollars_per_hour=0.04 / 100.0 * 3600.0,
+            vgpu_dollars_per_hour=0.8 / 100.0 * 3600.0,
+        )

@@ -1,0 +1,177 @@
+"""Specifications of the six DNN serverless functions used in the paper.
+
+The numbers come from Table 3 of the paper: execution time in the minimum
+configuration (1 vCPU, 1 vGPU, batch size 1), cold start time and input
+image size.  ``cpu_fraction`` and ``output_mb`` are not published; they are
+set to plausible values (pre/post-processing share of an inference function,
+and the size of the tensor/image passed to the next stage) and only shape
+second-order effects (CPU scaling, data-transfer latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+__all__ = [
+    "FunctionSpec",
+    "FUNCTION_SPECS",
+    "get_function_spec",
+    "list_function_names",
+    "register_function_spec",
+]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static description of one DNN serverless function.
+
+    Parameters
+    ----------
+    name:
+        Identifier used throughout the package (e.g. ``"super_resolution"``).
+    model_name:
+        The underlying DNN model (column "Model" in Table 3).
+    base_exec_ms:
+        Execution time at the minimum configuration (1 vCPU, 1 vGPU,
+        batch size 1), in milliseconds.
+    cold_start_ms:
+        Container cold-start time in milliseconds (pulling the image,
+        loading the model onto the GPU, ...).
+    input_mb:
+        Size of the input the function reads, in megabytes; drives the
+        data-transfer model when a stage runs on a different invoker than
+        its predecessor.
+    cpu_fraction:
+        Fraction of ``base_exec_ms`` spent on the CPU (pre/post-processing);
+        the rest is GPU time.
+    output_mb:
+        Size of the output passed to successor stages, in megabytes.
+    """
+
+    name: str
+    model_name: str
+    base_exec_ms: float
+    cold_start_ms: float
+    input_mb: float
+    cpu_fraction: float = 0.2
+    output_mb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FunctionSpec.name must be non-empty")
+        ensure_positive(self.base_exec_ms, "base_exec_ms")
+        ensure_non_negative(self.cold_start_ms, "cold_start_ms")
+        ensure_non_negative(self.input_mb, "input_mb")
+        ensure_non_negative(self.output_mb, "output_mb")
+        ensure_in_range(self.cpu_fraction, 0.0, 1.0, "cpu_fraction")
+
+    @property
+    def cpu_ms(self) -> float:
+        """CPU share of the base execution time."""
+        return self.base_exec_ms * self.cpu_fraction
+
+    @property
+    def gpu_ms(self) -> float:
+        """GPU share of the base execution time."""
+        return self.base_exec_ms * (1.0 - self.cpu_fraction)
+
+
+#: Table 3 of the paper.
+FUNCTION_SPECS: dict[str, FunctionSpec] = {
+    "super_resolution": FunctionSpec(
+        name="super_resolution",
+        model_name="SRGAN",
+        base_exec_ms=86.0,
+        cold_start_ms=3503.0,
+        input_mb=2.7,
+        cpu_fraction=0.20,
+        output_mb=2.5,
+    ),
+    "segmentation": FunctionSpec(
+        name="segmentation",
+        model_name="deeplabv3_resnet50",
+        base_exec_ms=293.0,
+        cold_start_ms=16510.0,
+        input_mb=2.5,
+        cpu_fraction=0.15,
+        output_mb=0.5,
+    ),
+    "deblur": FunctionSpec(
+        name="deblur",
+        model_name="DeblurGAN",
+        base_exec_ms=319.0,
+        cold_start_ms=22343.0,
+        input_mb=1.1,
+        cpu_fraction=0.15,
+        output_mb=2.5,
+    ),
+    "classification": FunctionSpec(
+        name="classification",
+        model_name="ResNet50",
+        base_exec_ms=147.0,
+        cold_start_ms=18299.0,
+        input_mb=0.147,
+        cpu_fraction=0.25,
+        output_mb=0.01,
+    ),
+    "background_removal": FunctionSpec(
+        name="background_removal",
+        model_name="U2Net",
+        base_exec_ms=1047.0,
+        cold_start_ms=3729.0,
+        input_mb=2.5,
+        cpu_fraction=0.10,
+        output_mb=2.5,
+    ),
+    "depth_recognition": FunctionSpec(
+        name="depth_recognition",
+        model_name="MiDaS",
+        base_exec_ms=828.0,
+        cold_start_ms=16479.0,
+        input_mb=0.648,
+        cpu_fraction=0.15,
+        output_mb=0.648,
+    ),
+}
+
+
+def get_function_spec(name: str) -> FunctionSpec:
+    """Return the spec registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If no function with that name is registered; the message lists the
+        available names to make typos easy to spot.
+    """
+    try:
+        return FUNCTION_SPECS[name]
+    except KeyError:
+        available = ", ".join(sorted(FUNCTION_SPECS))
+        raise KeyError(f"unknown function {name!r}; available: {available}") from None
+
+
+def list_function_names() -> list[str]:
+    """Return the registered function names in deterministic order."""
+    return sorted(FUNCTION_SPECS)
+
+
+def register_function_spec(spec: FunctionSpec, *, overwrite: bool = False) -> None:
+    """Register a custom function spec (used by examples and tests).
+
+    Parameters
+    ----------
+    spec:
+        The specification to register.
+    overwrite:
+        If False (default) registering a name that already exists raises
+        ``ValueError`` to protect the paper's Table 3 entries from
+        accidental modification.
+    """
+    if spec.name in FUNCTION_SPECS and not overwrite:
+        raise ValueError(
+            f"function {spec.name!r} is already registered; pass overwrite=True to replace it"
+        )
+    FUNCTION_SPECS[spec.name] = spec

@@ -1,0 +1,34 @@
+"""Small shared utilities used across the ESG reproduction.
+
+The helpers here intentionally stay dependency-light (numpy only) so that
+every other subpackage can import them without creating cycles.
+"""
+
+from repro.utils.rng import RngFactory, derive_rng
+from repro.utils.stats import (
+    EWMA,
+    RunningStats,
+    SummaryStats,
+    percentile,
+    summarize,
+)
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_positive_int,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_rng",
+    "EWMA",
+    "RunningStats",
+    "SummaryStats",
+    "percentile",
+    "summarize",
+    "ensure_in_range",
+    "ensure_non_negative",
+    "ensure_positive",
+    "ensure_positive_int",
+]

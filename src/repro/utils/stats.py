@@ -1,0 +1,158 @@
+"""Streaming and summary statistics helpers.
+
+These are used by the metrics collector (latency / cost / overhead
+distributions), by the prewarming predictor (EWMA of arrival intervals) and
+by the experiment report generators (box-plot style summaries matching the
+paper's figures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["EWMA", "RunningStats", "SummaryStats", "percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) of ``values``.
+
+    Uses linear interpolation, matching :func:`numpy.percentile`.  Raises
+    ``ValueError`` on an empty sequence to avoid silently producing NaNs in
+    experiment tables.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class EWMA:
+    """Exponentially weighted moving average.
+
+    Used by the prewarming manager to predict the next invocation interval of
+    a serverless function (Section 4 of the paper uses EWMA-based
+    prediction).
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; larger values weigh recent samples more.
+    """
+
+    alpha: float = 0.3
+    _value: float | None = field(default=None, repr=False)
+    _count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new value."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * float(sample) + (1.0 - self.alpha) * self._value
+        self._count += 1
+        return self._value
+
+    @property
+    def value(self) -> float | None:
+        """Current average, or ``None`` if no sample has been observed."""
+        return self._value
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded in so far."""
+        return self._count
+
+
+@dataclass
+class RunningStats:
+    """Numerically stable streaming mean / variance (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def update(self, sample: float) -> None:
+        """Fold one observation into the running statistics."""
+        x = float(sample)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    def update_many(self, samples: Iterable[float]) -> None:
+        """Fold every observation of ``samples``."""
+        for s in samples:
+            self.update(s)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number style summary used in figure reproductions."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary (handy for tables)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over ``values`` (must be non-empty)."""
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )

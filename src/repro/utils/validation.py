@@ -1,0 +1,40 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_non_negative",
+    "ensure_in_range",
+]
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a strictly positive integer."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is >= 0, else raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if ``low <= value <= high``, else raise ``ValueError``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)

@@ -1,0 +1,49 @@
+"""Application workflows (DAGs) and workload generation.
+
+This subpackage models the demand side of the evaluation: the four DNN
+applications of Section 4.1 and the arrival-interval generator derived from
+the Azure traces (Figure 5), under the three workload settings
+(strict-light, moderate-normal, relaxed-heavy).
+"""
+
+from repro.workloads.applications import (
+    PAPER_APPLICATIONS,
+    background_elimination,
+    build_paper_applications,
+    depth_recognition,
+    expanded_image_classification,
+    image_classification,
+)
+from repro.workloads.dag import Stage, Workflow
+from repro.workloads.generator import (
+    MODERATE_NORMAL,
+    RELAXED_HEAVY,
+    STRICT_LIGHT,
+    WORKLOAD_SETTINGS,
+    WorkloadGenerator,
+    WorkloadSetting,
+)
+from repro.workloads.request import Job, Request
+from repro.workloads.traces import ArrivalIntervalRange, generate_arrival_times, generate_intervals
+
+__all__ = [
+    "Stage",
+    "Workflow",
+    "image_classification",
+    "depth_recognition",
+    "background_elimination",
+    "expanded_image_classification",
+    "build_paper_applications",
+    "PAPER_APPLICATIONS",
+    "WorkloadSetting",
+    "WorkloadGenerator",
+    "STRICT_LIGHT",
+    "MODERATE_NORMAL",
+    "RELAXED_HEAVY",
+    "WORKLOAD_SETTINGS",
+    "Request",
+    "Job",
+    "ArrivalIntervalRange",
+    "generate_intervals",
+    "generate_arrival_times",
+]

@@ -1,0 +1,79 @@
+"""The four DNN applications used in the paper's evaluation (Section 4.1).
+
+* **Image classification** — super-resolution -> segmentation -> classification.
+* **Depth recognition** — deblur -> super-resolution -> depth recognition.
+* **Background elimination** — super-resolution -> deblur -> background removal.
+* **Expanded image classification** — deblur -> super-resolution ->
+  background removal -> segmentation -> classification (the long pipeline
+  that suffers most under resource-hungry schedulers, Figure 7(d)).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.dag import Workflow
+
+__all__ = [
+    "image_classification",
+    "depth_recognition",
+    "background_elimination",
+    "expanded_image_classification",
+    "build_paper_applications",
+    "PAPER_APPLICATIONS",
+]
+
+
+def image_classification() -> Workflow:
+    """Super-resolution, then segmentation, then classification."""
+    return Workflow.linear(
+        "image_classification",
+        ["super_resolution", "segmentation", "classification"],
+    )
+
+
+def depth_recognition() -> Workflow:
+    """Deblur, then super-resolution, then monocular depth estimation."""
+    return Workflow.linear(
+        "depth_recognition",
+        ["deblur", "super_resolution", "depth_recognition"],
+    )
+
+
+def background_elimination() -> Workflow:
+    """Super-resolution, then deblur, then background removal."""
+    return Workflow.linear(
+        "background_elimination",
+        ["super_resolution", "deblur", "background_removal"],
+    )
+
+
+def expanded_image_classification() -> Workflow:
+    """The five-stage expanded image classification pipeline."""
+    return Workflow.linear(
+        "expanded_image_classification",
+        [
+            "deblur",
+            "super_resolution",
+            "background_removal",
+            "segmentation",
+            "classification",
+        ],
+    )
+
+
+def build_paper_applications() -> list[Workflow]:
+    """Fresh instances of all four paper applications (evaluation order)."""
+    return [
+        image_classification(),
+        depth_recognition(),
+        background_elimination(),
+        expanded_image_classification(),
+    ]
+
+
+#: Mapping from application name to its builder, for lookups by name.
+PAPER_APPLICATIONS = {
+    "image_classification": image_classification,
+    "depth_recognition": depth_recognition,
+    "background_elimination": background_elimination,
+    "expanded_image_classification": expanded_image_classification,
+}

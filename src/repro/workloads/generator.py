@@ -1,0 +1,177 @@
+"""Workload settings and request-stream generation.
+
+Section 4.1 of the paper defines three evaluation situations that pair an
+SLO tightness with an arrival intensity:
+
+========================  ==========  =======================
+setting                   SLO factor  arrival interval (ms)
+========================  ==========  =======================
+strict-light              0.8 x L     [40, 67.2]
+moderate-normal           1.0 x L     [20, 33.6]
+relaxed-heavy             1.2 x L     [10, 16.8]
+========================  ==========  =======================
+
+where ``L`` is the end-to-end latency of the application under the minimum
+configuration.  "In each workload, one of the four DNN applications is
+randomly picked to get invoked in each time interval."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.profiles.profiler import ProfileStore
+from repro.utils.validation import ensure_positive, ensure_positive_int
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Request
+from repro.workloads.traces import (
+    HEAVY_INTERVALS,
+    LIGHT_INTERVALS,
+    NORMAL_INTERVALS,
+    ArrivalIntervalRange,
+    generate_intervals,
+)
+
+__all__ = [
+    "WorkloadSetting",
+    "WorkloadGenerator",
+    "STRICT_LIGHT",
+    "MODERATE_NORMAL",
+    "RELAXED_HEAVY",
+    "WORKLOAD_SETTINGS",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSetting:
+    """One evaluation situation: an SLO tightness plus an arrival intensity."""
+
+    name: str
+    slo_factor: float
+    intervals: ArrivalIntervalRange
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("setting name must be non-empty")
+        ensure_positive(self.slo_factor, "slo_factor")
+
+    def slo_ms(self, base_latency_ms: float) -> float:
+        """SLO budget for an application whose minimum-config latency is given."""
+        ensure_positive(base_latency_ms, "base_latency_ms")
+        return self.slo_factor * base_latency_ms
+
+
+STRICT_LIGHT = WorkloadSetting("strict-light", slo_factor=0.8, intervals=LIGHT_INTERVALS)
+MODERATE_NORMAL = WorkloadSetting("moderate-normal", slo_factor=1.0, intervals=NORMAL_INTERVALS)
+RELAXED_HEAVY = WorkloadSetting("relaxed-heavy", slo_factor=1.2, intervals=HEAVY_INTERVALS)
+
+#: All paper settings keyed by name.
+WORKLOAD_SETTINGS: dict[str, WorkloadSetting] = {
+    s.name: s for s in (STRICT_LIGHT, MODERATE_NORMAL, RELAXED_HEAVY)
+}
+
+
+@dataclass
+class WorkloadGenerator:
+    """Generates a stream of :class:`Request` objects for one setting.
+
+    Parameters
+    ----------
+    applications:
+        The application workflows to sample from (uniformly at random per
+        arrival, as in the paper).
+    setting:
+        The workload setting (SLO factor + arrival intervals).
+    profile_store:
+        Used to compute each application's minimum-configuration latency
+        ``L`` from which its SLO is derived.
+    rng:
+        Random generator for arrival intervals and application choice.
+    burstiness:
+        Passed through to the interval generator (0.0 = the paper's uniform
+        sampling).
+    app_weights:
+        Optional non-uniform application mix (defaults to uniform).
+    """
+
+    applications: Sequence[Workflow]
+    setting: WorkloadSetting
+    profile_store: ProfileStore
+    rng: np.random.Generator
+    burstiness: float = 0.0
+    app_weights: Sequence[float] | None = None
+    workflow_factory: Callable[[Workflow], Workflow] | None = None
+    _base_latency_cache: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.applications) == 0:
+            raise ValueError("at least one application is required")
+        if self.app_weights is not None:
+            if len(self.app_weights) != len(self.applications):
+                raise ValueError(
+                    "app_weights must have one weight per application "
+                    f"({len(self.app_weights)} != {len(self.applications)})"
+                )
+            if any(w < 0 for w in self.app_weights):
+                raise ValueError("app_weights must be non-negative")
+            if sum(self.app_weights) <= 0:
+                raise ValueError("app_weights must not all be zero")
+
+    # ------------------------------------------------------------------
+    # SLO derivation
+    # ------------------------------------------------------------------
+    def base_latency_ms(self, workflow: Workflow) -> float:
+        """Minimum-configuration end-to-end latency ``L`` of ``workflow``."""
+        if workflow.name not in self._base_latency_cache:
+            self._base_latency_cache[workflow.name] = (
+                self.profile_store.minimum_config_latency_ms(workflow.function_names())
+            )
+        return self._base_latency_cache[workflow.name]
+
+    def slo_ms(self, workflow: Workflow) -> float:
+        """SLO budget assigned to requests of ``workflow`` under this setting."""
+        return self.setting.slo_ms(self.base_latency_ms(workflow))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, num_requests: int, *, start_ms: float = 0.0) -> list[Request]:
+        """Generate ``num_requests`` requests with increasing arrival times."""
+        ensure_positive_int(num_requests, "num_requests")
+        intervals = generate_intervals(
+            num_requests, self.setting.intervals, self.rng, burstiness=self.burstiness
+        )
+        arrivals = start_ms + np.cumsum(intervals)
+
+        if self.app_weights is None:
+            probs = None
+        else:
+            weights = np.asarray(self.app_weights, dtype=float)
+            probs = weights / weights.sum()
+        app_indices = self.rng.choice(len(self.applications), size=num_requests, p=probs)
+
+        requests: list[Request] = []
+        for req_id, (arrival, app_idx) in enumerate(zip(arrivals, app_indices)):
+            workflow = self.applications[int(app_idx)]
+            if self.workflow_factory is not None:
+                workflow = self.workflow_factory(workflow)
+            requests.append(
+                Request(
+                    request_id=req_id,
+                    workflow=workflow,
+                    arrival_ms=float(arrival),
+                    slo_ms=self.slo_ms(workflow),
+                )
+            )
+        return requests
+
+    def generate_for_duration(self, duration_ms: float, *, start_ms: float = 0.0) -> list[Request]:
+        """Generate requests until the arrival clock exceeds ``duration_ms``."""
+        ensure_positive(duration_ms, "duration_ms")
+        mean_interval = self.setting.intervals.mean_ms
+        estimate = max(1, int(duration_ms / mean_interval * 1.3) + 8)
+        requests = self.generate(estimate, start_ms=start_ms)
+        return [r for r in requests if r.arrival_ms <= start_ms + duration_ms]

@@ -1,0 +1,175 @@
+"""Runtime records for application requests and per-stage jobs.
+
+Terminology follows Section 3.2 of the paper:
+
+* a **request** is one invocation of an application (its end-to-end latency
+  is what the SLO constrains);
+* a **job** is the inference of one request at one stage (one entry in an
+  AFW queue);
+* a **task** is the set of jobs processed together by one batched function
+  invocation (tasks live in :mod:`repro.cluster.tasks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.workloads.dag import Workflow
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.profiles.configuration import Configuration
+
+__all__ = ["Request", "Job"]
+
+
+@dataclass
+class Request:
+    """One end-to-end invocation of an application workflow.
+
+    Parameters
+    ----------
+    request_id:
+        Unique id within the experiment.
+    workflow:
+        The application DAG this request traverses.
+    arrival_ms:
+        Absolute simulation time at which the request arrived.
+    slo_ms:
+        The latency budget (duration, not an absolute time); the request is
+        an SLO hit iff it completes within ``arrival_ms + slo_ms``.
+    """
+
+    request_id: int
+    workflow: Workflow
+    arrival_ms: float
+    slo_ms: float
+
+    #: Completion time of each finished stage (absolute ms).
+    stage_completion_ms: dict[str, float] = field(default_factory=dict)
+    #: Invoker that ran each finished stage (for data-locality decisions).
+    stage_invoker: dict[str, int] = field(default_factory=dict)
+    #: Full-application configuration plan computed up-front by static
+    #: planners (Orion, Aquatope); ``None`` for adaptive schedulers.
+    static_plan: dict[str, "Configuration"] | None = None
+    #: Number of times a pre-planned configuration could not be applied
+    #: (batch size larger than the queue, Table 4 of the paper).
+    plan_miss_count: int = 0
+    #: Set when the final stage completes.
+    completed_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ValueError(f"arrival_ms must be >= 0, got {self.arrival_ms}")
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
+
+    # ------------------------------------------------------------------
+    # Derived times
+    # ------------------------------------------------------------------
+    @property
+    def app_name(self) -> str:
+        """Name of the application this request invokes."""
+        return self.workflow.name
+
+    @property
+    def deadline_ms(self) -> float:
+        """Absolute time by which the request must finish to hit its SLO."""
+        return self.arrival_ms + self.slo_ms
+
+    def remaining_budget_ms(self, now_ms: float) -> float:
+        """Time left until the deadline (can be negative once missed)."""
+        return self.deadline_ms - now_ms
+
+    @property
+    def latency_ms(self) -> float | None:
+        """End-to-end latency, or ``None`` if the request has not finished."""
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every sink stage has completed."""
+        return self.completed_ms is not None
+
+    @property
+    def slo_hit(self) -> bool | None:
+        """Whether the request met its SLO (``None`` while still running)."""
+        if self.completed_ms is None:
+            return None
+        return (self.completed_ms - self.arrival_ms) <= self.slo_ms
+
+    # ------------------------------------------------------------------
+    # Stage bookkeeping
+    # ------------------------------------------------------------------
+    def record_stage_completion(self, stage_id: str, finish_ms: float, invoker_id: int) -> None:
+        """Record that ``stage_id`` finished at ``finish_ms`` on ``invoker_id``."""
+        if stage_id not in self.workflow:
+            raise KeyError(f"{stage_id!r} is not a stage of {self.workflow.name!r}")
+        if stage_id in self.stage_completion_ms:
+            raise ValueError(f"stage {stage_id!r} of request {self.request_id} completed twice")
+        self.stage_completion_ms[stage_id] = finish_ms
+        self.stage_invoker[stage_id] = invoker_id
+        if all(sink in self.stage_completion_ms for sink in self.workflow.sinks()):
+            self.completed_ms = max(
+                self.stage_completion_ms[sink] for sink in self.workflow.sinks()
+            )
+
+    def stage_is_ready(self, stage_id: str) -> bool:
+        """True if all predecessors of ``stage_id`` have completed."""
+        return all(p in self.stage_completion_ms for p in self.workflow.predecessors(stage_id))
+
+    def remaining_stage_ids(self) -> list[str]:
+        """Stages not yet completed, in topological order."""
+        return [
+            sid for sid in self.workflow.topological_order()
+            if sid not in self.stage_completion_ms
+        ]
+
+    def predecessor_invoker(self, stage_id: str) -> int | None:
+        """Invoker that ran the (latest-finishing) predecessor of ``stage_id``.
+
+        Used by ESG_Dispatch's data-locality policy; ``None`` for source
+        stages or when no predecessor has completed yet.
+        """
+        preds = [p for p in self.workflow.predecessors(stage_id) if p in self.stage_invoker]
+        if not preds:
+            return None
+        latest = max(preds, key=lambda p: self.stage_completion_ms[p])
+        return self.stage_invoker[latest]
+
+
+@dataclass
+class Job:
+    """One request waiting at one stage (one element of an AFW queue)."""
+
+    request: Request
+    stage_id: str
+    ready_ms: float
+
+    def __post_init__(self) -> None:
+        if self.stage_id not in self.request.workflow:
+            raise KeyError(
+                f"{self.stage_id!r} is not a stage of {self.request.workflow.name!r}"
+            )
+        if self.ready_ms < 0:
+            raise ValueError(f"ready_ms must be >= 0, got {self.ready_ms}")
+
+    @property
+    def function_name(self) -> str:
+        """The serverless function this job invokes."""
+        return self.request.workflow.function_of(self.stage_id)
+
+    @property
+    def app_name(self) -> str:
+        """The application the job belongs to."""
+        return self.request.app_name
+
+    def waiting_ms(self, now_ms: float) -> float:
+        """How long the job has been queueing."""
+        return max(0.0, now_ms - self.ready_ms)
+
+    def remaining_budget_ms(self, now_ms: float) -> float:
+        """Time left before the owning request misses its deadline."""
+        return self.request.remaining_budget_ms(now_ms)

@@ -1,0 +1,31 @@
+"""Tests for the average-service-time SLO distribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.service_time_slo import service_time_fractions
+from repro.workloads.applications import expanded_image_classification, image_classification
+
+
+class TestServiceTimeFractions:
+    def test_fractions_sum_to_one(self, small_store, paper_apps):
+        for wf in paper_apps:
+            fractions = service_time_fractions(wf, small_store)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+            assert set(fractions) == set(wf.stage_ids())
+
+    def test_fractions_proportional_to_base_exec_time(self, small_store):
+        wf = image_classification()
+        fractions = service_time_fractions(wf, small_store)
+        total = 86.0 + 293.0 + 147.0
+        assert fractions["s1"] == pytest.approx(86.0 / total)
+        assert fractions["s2"] == pytest.approx(293.0 / total)
+        assert fractions["s3"] == pytest.approx(147.0 / total)
+
+    def test_longer_pipeline_spreads_budget(self, small_store):
+        wf = expanded_image_classification()
+        fractions = service_time_fractions(wf, small_store)
+        assert all(0 < f < 1 for f in fractions.values())
+        # Background removal (1047 ms) dominates the expanded pipeline.
+        assert max(fractions, key=fractions.get) == "s3"

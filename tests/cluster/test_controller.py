@@ -1,0 +1,195 @@
+"""Tests for the controller and the end-to-end simulation loop.
+
+A deterministic fixed-configuration policy exercises the controller's
+mechanics (queue management, dispatch, cold starts, resource release,
+recheck list) without depending on the ESG search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.controller import ControllerConfig
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.policy_api import SchedulingDecision, SchedulingPolicy
+from repro.cluster.simulator import Simulation, SimulationConfig
+from repro.profiles.configuration import Configuration
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.applications import image_classification
+from repro.workloads.request import Request
+
+
+class FixedConfigPolicy(SchedulingPolicy):
+    """Always proposes the same configuration (default: the minimum)."""
+
+    name = "fixed"
+
+    def __init__(self, config: Configuration | None = None):
+        super().__init__()
+        self._config = config
+        self.plan_calls = 0
+
+    def plan(self, queue, now_ms):
+        self.plan_calls += 1
+        config = self._config or self.context.config_space.minimum
+        return SchedulingDecision(candidates=[config])
+
+
+class RefusingPolicy(SchedulingPolicy):
+    """Proposes a configuration no invoker can ever host."""
+
+    name = "refusing"
+
+    def plan(self, queue, now_ms):
+        return SchedulingDecision(candidates=[Configuration(1, 64, 7)])
+
+    def select_invoker(self, config, queue, now_ms):
+        return None
+
+
+def make_requests(n: int, spacing_ms: float = 50.0, slo_ms: float = 2000.0) -> list[Request]:
+    return [
+        Request(
+            request_id=i,
+            workflow=image_classification(),
+            arrival_ms=1.0 + i * spacing_ms,
+            slo_ms=slo_ms,
+        )
+        for i in range(n)
+    ]
+
+
+def build_simulation(
+    policy, requests, store, *, initial_warm="all", noise=0.0, cluster=None, count_overhead=True
+):
+    return Simulation(
+        policy=policy,
+        requests=requests,
+        profile_store=store,
+        config=SimulationConfig(
+            seed=7,
+            noise_sigma=noise,
+            cluster=cluster or ClusterConfig(num_invokers=4),
+            controller=ControllerConfig(
+                initial_warm=initial_warm, count_overhead_in_latency=count_overhead
+            ),
+        ),
+        setting_name="test",
+    )
+
+
+@pytest.fixture(scope="module")
+def store() -> ProfileStore:
+    return ProfileStore.build()
+
+
+class TestEndToEndMechanics:
+    def test_all_requests_complete(self, store):
+        requests = make_requests(5)
+        sim = build_simulation(FixedConfigPolicy(), requests, store)
+        summary = sim.run()
+        assert summary.num_requests == 5
+        assert summary.num_completed == 5
+        assert all(r.is_complete for r in requests)
+
+    def test_stage_ordering_respected(self, store):
+        requests = make_requests(3)
+        sim = build_simulation(FixedConfigPolicy(), requests, store)
+        sim.run()
+        for request in requests:
+            s1 = request.stage_completion_ms["s1"]
+            s2 = request.stage_completion_ms["s2"]
+            s3 = request.stage_completion_ms["s3"]
+            assert s1 < s2 < s3
+            assert request.completed_ms == s3
+
+    def test_latency_accounts_for_execution(self, store):
+        requests = make_requests(1)
+        sim = build_simulation(FixedConfigPolicy(), requests, store)
+        sim.run()
+        base = store.minimum_config_latency_ms(requests[0].workflow.function_names())
+        assert requests[0].latency_ms >= base  # execution plus transfers and ticks
+
+    def test_resources_fully_released_at_end(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(4), store)
+        sim.run()
+        for invoker in sim.cluster:
+            assert invoker.used_vcpus == 0
+            assert invoker.used_vgpus == 0
+
+    def test_cost_positive_and_matches_tasks(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(3), store)
+        summary = sim.run()
+        assert summary.total_cost_cents > 0
+        assert summary.total_cost_cents == pytest.approx(
+            sum(t.cost_cents for t in sim.metrics.tasks)
+        )
+
+    def test_warm_cluster_has_no_cold_starts(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(3), store, initial_warm="all")
+        summary = sim.run()
+        assert summary.cold_starts == 0
+
+    def test_cold_cluster_pays_cold_starts(self, store):
+        sim = build_simulation(
+            FixedConfigPolicy(), make_requests(2, slo_ms=100000.0), store, initial_warm="none"
+        )
+        summary = sim.run()
+        assert summary.cold_starts > 0
+        # The function stays resident afterwards, so there are at most as
+        # many cold starts as (function, node) pairs actually used.
+        assert summary.cold_starts <= 3 * len(sim.cluster)
+
+    def test_batching_groups_jobs(self, store):
+        # Ten requests arriving (almost) simultaneously with a batch-4 policy
+        # must be grouped into fewer, larger tasks at the first stage.
+        requests = make_requests(10, spacing_ms=0.1, slo_ms=20000.0)
+        policy = FixedConfigPolicy(Configuration(4, 2, 2))
+        sim = build_simulation(policy, requests, store)
+        sim.run()
+        s1_tasks = [t for t in sim.metrics.tasks if t.stage_id == "s1"]
+        assert any(t.batch_size > 1 for t in s1_tasks)
+        assert len(s1_tasks) < 10
+
+    def test_local_transfer_when_stages_colocate(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(2), store)
+        summary = sim.run()
+        assert summary.local_transfers + summary.remote_transfers > 0
+
+    def test_deterministic_given_seed(self, store):
+        """With measured wall-clock overhead excluded, a run is fully reproducible."""
+
+        def run_once():
+            sim = build_simulation(
+                FixedConfigPolicy(), make_requests(4), store, noise=0.05, count_overhead=False
+            )
+            summary = sim.run()
+            return summary.total_cost_cents, summary.mean_latency_ms
+
+        assert run_once() == run_once()
+
+
+class TestRecheckAndForcedDispatch:
+    def test_refusing_policy_triggers_forced_min_dispatch(self, store):
+        requests = make_requests(1, slo_ms=100000.0)
+        sim = build_simulation(RefusingPolicy(), requests, store)
+        summary = sim.run()
+        assert summary.forced_min_dispatches > 0
+        assert requests[0].is_complete
+
+    def test_overhead_recorded_per_plan_call(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(2), store)
+        summary = sim.run()
+        assert len(sim.metrics.overhead_ms_samples) >= 6  # at least one per stage dispatch
+
+
+class TestSimulationGuards:
+    def test_empty_request_list_rejected(self, store):
+        with pytest.raises(ValueError):
+            Simulation(policy=FixedConfigPolicy(), requests=[], profile_store=store)
+
+    def test_max_events_stops_run(self, store):
+        sim = build_simulation(FixedConfigPolicy(), make_requests(3), store)
+        sim.config = SimulationConfig(max_events=2, cluster=ClusterConfig(num_invokers=4))
+        sim.run()
+        assert sim.processed_events <= 2

@@ -1,0 +1,52 @@
+"""Tests for the inter-stage data transfer model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.datatransfer import DataTransferModel
+
+
+class TestTransferLatency:
+    def test_local_is_faster_than_remote(self):
+        model = DataTransferModel()
+        assert model.local_transfer_ms(2.5) < model.remote_transfer_ms(2.5)
+
+    def test_zero_size_still_pays_fixed_latency(self):
+        model = DataTransferModel(local_latency_ms=0.2, remote_latency_ms=8.0)
+        assert model.local_transfer_ms(0.0) == pytest.approx(0.2)
+        assert model.remote_transfer_ms(0.0) == pytest.approx(8.0)
+
+    def test_latency_scales_with_size(self):
+        model = DataTransferModel(remote_bandwidth_mb_per_s=100.0, remote_latency_ms=0.0)
+        assert model.remote_transfer_ms(1.0) == pytest.approx(10.0)
+        assert model.remote_transfer_ms(2.0) == pytest.approx(20.0)
+
+    def test_dispatch_on_locality_flag(self):
+        model = DataTransferModel()
+        assert model.transfer_ms(1.0, local=True) == model.local_transfer_ms(1.0)
+        assert model.transfer_ms(1.0, local=False) == model.remote_transfer_ms(1.0)
+
+    def test_negative_size_rejected(self):
+        model = DataTransferModel()
+        with pytest.raises(ValueError):
+            model.local_transfer_ms(-1.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DataTransferModel(local_bandwidth_mb_per_s=0.0)
+        with pytest.raises(ValueError):
+            DataTransferModel(remote_latency_ms=-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_local_never_slower_than_remote(self, size_mb):
+        model = DataTransferModel()
+        assert model.local_transfer_ms(size_mb) <= model.remote_transfer_ms(size_mb)
+
+    @given(st.floats(min_value=0.0, max_value=50.0), st.floats(min_value=0.0, max_value=50.0))
+    def test_monotone_in_size(self, a, b):
+        model = DataTransferModel()
+        small, large = sorted((a, b))
+        assert model.remote_transfer_ms(small) <= model.remote_transfer_ms(large)

@@ -1,0 +1,71 @@
+"""Tests for the event types and the event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import (
+    Event,
+    RequestArrivalEvent,
+    SchedulerTickEvent,
+)
+from repro.cluster.simulator import EventLoop
+from repro.workloads.applications import image_classification
+from repro.workloads.request import Request
+
+
+def make_request(arrival_ms: float = 0.0) -> Request:
+    return Request(
+        request_id=0, workflow=image_classification(), arrival_ms=arrival_ms, slo_ms=1000.0
+    )
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerTickEvent(time_ms=-1.0)
+
+    def test_arrival_event_holds_request(self):
+        request = make_request(5.0)
+        event = RequestArrivalEvent(time_ms=5.0, request=request)
+        assert event.request is request
+        assert isinstance(event, Event)
+
+
+class TestEventLoop:
+    def test_pops_in_time_order(self):
+        loop = EventLoop()
+        loop.push(SchedulerTickEvent(time_ms=30.0))
+        loop.push(SchedulerTickEvent(time_ms=10.0))
+        loop.push(SchedulerTickEvent(time_ms=20.0))
+        times = [loop.pop().time_ms for _ in range(3)]
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_ties_broken_by_insertion_order(self):
+        loop = EventLoop()
+        first = RequestArrivalEvent(time_ms=5.0, request=make_request())
+        second = SchedulerTickEvent(time_ms=5.0)
+        loop.push(first)
+        loop.push(second)
+        assert loop.pop() is first
+        assert loop.pop() is second
+
+    def test_len_and_empty(self):
+        loop = EventLoop()
+        assert loop.empty
+        loop.push(SchedulerTickEvent(time_ms=1.0))
+        assert len(loop) == 1
+        assert not loop.empty
+        loop.pop()
+        assert loop.empty
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventLoop().pop()
+
+    def test_peek_time(self):
+        loop = EventLoop()
+        loop.push(SchedulerTickEvent(time_ms=42.0))
+        assert loop.peek_time() == 42.0
+        with pytest.raises(IndexError):
+            EventLoop().peek_time()

@@ -1,0 +1,68 @@
+"""Tests for the MIG-style GPU device model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.gpu import GpuDevice
+
+
+class TestAllocation:
+    def test_initial_state(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=7)
+        assert gpu.available_vgpus == 7
+        assert gpu.used_vgpus == 0
+        assert gpu.utilization == 0.0
+
+    def test_allocate_and_release(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=7)
+        gpu.allocate(3)
+        assert gpu.used_vgpus == 3
+        assert gpu.available_vgpus == 4
+        gpu.release(3)
+        assert gpu.used_vgpus == 0
+
+    def test_cannot_over_allocate(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=7)
+        gpu.allocate(5)
+        assert not gpu.can_allocate(3)
+        with pytest.raises(RuntimeError):
+            gpu.allocate(3)
+
+    def test_cannot_over_release(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=7)
+        gpu.allocate(2)
+        with pytest.raises(RuntimeError):
+            gpu.release(3)
+
+    def test_invalid_arguments(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=7)
+        with pytest.raises(ValueError):
+            gpu.allocate(0)
+        with pytest.raises(ValueError):
+            gpu.release(-1)
+        with pytest.raises(ValueError):
+            GpuDevice(device_id=0, total_vgpus=0)
+
+    def test_utilization_fraction(self):
+        gpu = GpuDevice(device_id=0, total_vgpus=4)
+        gpu.allocate(1)
+        assert gpu.utilization == 0.25
+
+
+class TestAllocationInvariant:
+    @given(st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=50))
+    def test_used_never_exceeds_total(self, requests):
+        """Property: interleaved allocations/releases never exceed capacity."""
+        gpu = GpuDevice(device_id=1, total_vgpus=7)
+        active: list[int] = []
+        for req in requests:
+            if gpu.can_allocate(req):
+                gpu.allocate(req)
+                active.append(req)
+            elif active:
+                gpu.release(active.pop())
+            assert 0 <= gpu.used_vgpus <= gpu.total_vgpus
+            assert gpu.used_vgpus == sum(active)

@@ -1,0 +1,146 @@
+"""Tests for the metrics collector and run summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.tasks import Task
+from repro.profiles.configuration import Configuration
+from repro.workloads.applications import depth_recognition, image_classification
+from repro.workloads.request import Job, Request
+
+
+def make_completed_request(req_id: int, latency_ms: float, slo_ms: float = 500.0, app=None) -> Request:
+    workflow = app or image_classification()
+    request = Request(request_id=req_id, workflow=workflow, arrival_ms=0.0, slo_ms=slo_ms)
+    t = 0.0
+    per_stage = latency_ms / workflow.num_stages
+    for sid in workflow.topological_order():
+        t += per_stage
+        request.record_stage_completion(sid, t, invoker_id=0)
+    return request
+
+
+def make_task(request: Request, cost: float = 1.0, cold: float = 0.0, vgpus: int = 1) -> Task:
+    job = Job(request=request, stage_id="s1", ready_ms=0.0)
+    task = Task(
+        app_name=request.app_name,
+        stage_id="s1",
+        function_name="super_resolution",
+        jobs=[job],
+        config=Configuration(1, 1, vgpus),
+        invoker_id=0,
+        dispatch_ms=10.0,
+        cold_start_ms=cold,
+        transfer_ms=0.0,
+        exec_ms=100.0,
+    )
+    task.cost_cents = cost
+    return task
+
+
+class TestSloHitRate:
+    def test_hit_rate_counts_unfinished_as_misses(self):
+        metrics = MetricsCollector()
+        metrics.register_request(make_completed_request(0, 400.0))  # hit
+        metrics.register_request(make_completed_request(1, 600.0))  # miss
+        unfinished = Request(
+            request_id=2, workflow=image_classification(), arrival_ms=0.0, slo_ms=500.0
+        )
+        metrics.register_request(unfinished)
+        assert metrics.slo_hit_rate() == pytest.approx(1 / 3)
+
+    def test_per_app_hit_rate(self):
+        metrics = MetricsCollector()
+        metrics.register_request(make_completed_request(0, 400.0))
+        metrics.register_request(make_completed_request(1, 900.0, app=depth_recognition()))
+        assert metrics.slo_hit_rate("image_classification") == 1.0
+        assert metrics.slo_hit_rate("depth_recognition") == 0.0
+
+    def test_empty_collector_rates_are_zero(self):
+        metrics = MetricsCollector()
+        assert metrics.slo_hit_rate() == 0.0
+        assert metrics.cost_per_request_cents() == 0.0
+        assert metrics.plan_miss_rate() == 0.0
+
+
+class TestCostAndTasks:
+    def test_total_cost_sums_task_costs(self):
+        metrics = MetricsCollector()
+        request = make_completed_request(0, 400.0)
+        metrics.register_request(request)
+        metrics.record_task(make_task(request, cost=1.5))
+        metrics.record_task(make_task(request, cost=2.5))
+        assert metrics.total_cost_cents() == pytest.approx(4.0)
+        assert metrics.cost_per_request_cents() == pytest.approx(4.0)
+
+    def test_cold_and_warm_start_counters(self):
+        metrics = MetricsCollector()
+        request = make_completed_request(0, 400.0)
+        metrics.record_task(make_task(request, cold=0.0))
+        metrics.record_task(make_task(request, cold=1000.0))
+        assert metrics.warm_starts == 1
+        assert metrics.cold_starts == 1
+
+    def test_vgpu_time_accumulates(self):
+        metrics = MetricsCollector()
+        request = make_completed_request(0, 400.0)
+        metrics.record_task(make_task(request, vgpus=2))
+        assert metrics.total_vgpu_ms() == pytest.approx(2 * 100.0)
+
+    def test_latencies_sorted_by_completion(self):
+        metrics = MetricsCollector()
+        metrics.register_request(make_completed_request(0, 300.0))
+        metrics.register_request(make_completed_request(1, 200.0))
+        assert metrics.latencies_ms() == [200.0, 300.0]
+
+
+class TestPlanAndTransfers:
+    def test_plan_miss_rate(self):
+        metrics = MetricsCollector()
+        metrics.record_plan_attempt(miss=True)
+        metrics.record_plan_attempt(miss=False)
+        metrics.record_plan_attempt(miss=True)
+        assert metrics.plan_miss_rate() == pytest.approx(2 / 3)
+
+    def test_transfer_counters(self):
+        metrics = MetricsCollector()
+        metrics.record_transfer(local=True)
+        metrics.record_transfer(local=False)
+        metrics.record_transfer(local=True)
+        assert metrics.local_transfers == 2
+        assert metrics.remote_transfers == 1
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().record_overhead(-1.0)
+
+
+class TestSummary:
+    def test_summary_aggregates(self):
+        metrics = MetricsCollector(policy_name="ESG", setting_name="strict-light")
+        request_hit = make_completed_request(0, 400.0)
+        request_miss = make_completed_request(1, 700.0)
+        metrics.register_request(request_hit)
+        metrics.register_request(request_miss)
+        metrics.record_task(make_task(request_hit, cost=1.0))
+        metrics.record_overhead(5.0)
+        metrics.record_plan_attempt(miss=True)
+        summary = metrics.summary()
+        assert summary.policy == "ESG"
+        assert summary.setting == "strict-light"
+        assert summary.num_requests == 2
+        assert summary.num_completed == 2
+        assert summary.slo_hit_rate == pytest.approx(0.5)
+        assert summary.total_cost_cents == pytest.approx(1.0)
+        assert summary.plan_miss_rate == 1.0
+        assert summary.mean_overhead_ms == pytest.approx(5.0)
+        assert "image_classification" in summary.per_app_slo_hit_rate
+
+    def test_summary_as_dict_round_trip(self):
+        metrics = MetricsCollector(policy_name="X", setting_name="s")
+        metrics.register_request(make_completed_request(0, 100.0))
+        data = metrics.summary().as_dict()
+        assert data["policy"] == "X"
+        assert data["num_requests"] == 1

@@ -1,0 +1,95 @@
+"""Tests for the EWMA-based prewarming manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, ClusterState
+from repro.cluster.prewarm import PrewarmManager
+
+
+@pytest.fixture()
+def cluster() -> ClusterState:
+    return ClusterState(config=ClusterConfig(num_invokers=4))
+
+
+@pytest.fixture()
+def manager(small_store) -> PrewarmManager:
+    return PrewarmManager(profile_store=small_store)
+
+
+class TestObservation:
+    def test_predicted_interval_needs_two_arrivals(self, manager):
+        assert manager.predicted_interval_ms("app", "deblur") is None
+        manager.observe_arrival("app", "deblur", 0.0)
+        assert manager.predicted_interval_ms("app", "deblur") is None
+        manager.observe_arrival("app", "deblur", 50.0)
+        assert manager.predicted_interval_ms("app", "deblur") == pytest.approx(50.0)
+
+    def test_predicted_next_arrival(self, manager):
+        manager.observe_arrival("app", "deblur", 0.0)
+        manager.observe_arrival("app", "deblur", 40.0)
+        predicted = manager.predicted_next_arrival_ms("app", "deblur")
+        assert predicted == pytest.approx(80.0)
+
+    def test_unknown_function_has_no_prediction(self, manager):
+        assert manager.predicted_next_arrival_ms("app", "never_seen") is None
+
+
+class TestDemandEstimation:
+    def test_desired_instances_grow_with_rate(self, manager):
+        # ~1 arrival per 20 ms of a ~1s function => many concurrent instances.
+        for i in range(20):
+            manager.observe_arrival("app", "background_removal", i * 20.0)
+        high_rate = manager.desired_warm_instances("background_removal")
+
+        manager2 = PrewarmManager(profile_store=manager.profile_store)
+        for i in range(20):
+            manager2.observe_arrival("app", "background_removal", i * 2000.0)
+        low_rate = manager2.desired_warm_instances("background_removal")
+        assert high_rate > low_rate
+        assert low_rate >= 1
+
+    def test_desired_instances_capped(self, small_store):
+        manager = PrewarmManager(profile_store=small_store, max_warm_per_function=3)
+        for i in range(50):
+            manager.observe_arrival("app", "background_removal", i * 5.0)
+        assert manager.desired_warm_instances("background_removal") <= 3
+
+    def test_aggregates_rate_over_applications(self, manager):
+        for i in range(10):
+            manager.observe_arrival("app_a", "deblur", i * 100.0)
+            manager.observe_arrival("app_b", "deblur", 50.0 + i * 100.0)
+        combined = manager.desired_warm_instances("deblur")
+        assert combined >= 1
+
+
+class TestPlanning:
+    def test_plan_creates_starting_containers(self, manager, cluster):
+        for i in range(10):
+            manager.observe_arrival("app", "background_removal", i * 10.0)
+        plans = manager.plan(cluster, now_ms=100.0)
+        assert plans, "expected at least one prewarm plan for a hot function"
+        for plan in plans:
+            assert plan.function_name == "background_removal"
+            assert plan.ready_at_ms > 100.0
+            assert cluster.invoker(plan.invoker_id).has_any_container("background_removal", 100.0)
+
+    def test_plan_does_not_duplicate_resident_containers(self, manager, cluster):
+        for i in range(10):
+            manager.observe_arrival("app", "deblur", i * 500.0)
+        first = manager.plan(cluster, now_ms=100.0)
+        second = manager.plan(cluster, now_ms=101.0)
+        assert len(second) <= len(first)
+
+    def test_disabled_manager_never_plans(self, small_store, cluster):
+        manager = PrewarmManager(profile_store=small_store, enabled=False)
+        for i in range(10):
+            manager.observe_arrival("app", "deblur", i * 10.0)
+        assert manager.plan(cluster, now_ms=50.0) == []
+
+    def test_invalid_parameters_rejected(self, small_store):
+        with pytest.raises(ValueError):
+            PrewarmManager(profile_store=small_store, safety_factor=0.0)
+        with pytest.raises(ValueError):
+            PrewarmManager(profile_store=small_store, max_warm_per_function=0)

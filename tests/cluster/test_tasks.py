@@ -1,0 +1,73 @@
+"""Tests for the task records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.tasks import Task
+from repro.profiles.configuration import Configuration
+from repro.workloads.applications import image_classification
+from repro.workloads.request import Job, Request
+
+
+def make_jobs(n: int, ready_ms: float = 10.0) -> list[Job]:
+    jobs = []
+    for i in range(n):
+        request = Request(
+            request_id=i, workflow=image_classification(), arrival_ms=0.0, slo_ms=1000.0
+        )
+        jobs.append(Job(request=request, stage_id="s1", ready_ms=ready_ms))
+    return jobs
+
+
+def make_task(**kwargs) -> Task:
+    defaults = dict(
+        app_name="image_classification",
+        stage_id="s1",
+        function_name="super_resolution",
+        jobs=make_jobs(2),
+        config=Configuration(2, 2, 1),
+        invoker_id=3,
+        dispatch_ms=100.0,
+        overhead_ms=5.0,
+        cold_start_ms=0.0,
+        transfer_ms=10.0,
+        exec_ms=85.0,
+    )
+    defaults.update(kwargs)
+    return Task(**defaults)
+
+
+class TestTask:
+    def test_timing_breakdown(self):
+        task = make_task()
+        assert task.start_ms == 105.0
+        assert task.duration_ms == 95.0
+        assert task.finish_ms == 200.0
+
+    def test_batch_size_is_number_of_jobs(self):
+        assert make_task().batch_size == 2
+
+    def test_jobs_cannot_exceed_config_batch(self):
+        with pytest.raises(ValueError):
+            make_task(jobs=make_jobs(3), config=Configuration(2, 2, 1))
+
+    def test_task_requires_jobs(self):
+        with pytest.raises(ValueError):
+            make_task(jobs=[])
+
+    def test_cold_start_flag(self):
+        assert not make_task().was_cold_start
+        assert make_task(cold_start_ms=3500.0).was_cold_start
+
+    def test_cost_per_job(self):
+        task = make_task()
+        task.cost_cents = 1.0
+        assert task.cost_per_job_cents == pytest.approx(0.5)
+
+    def test_waiting_time_is_mean_over_jobs(self):
+        task = make_task(jobs=make_jobs(2, ready_ms=40.0), dispatch_ms=100.0)
+        assert task.waiting_ms() == pytest.approx(60.0)
+
+    def test_task_ids_unique(self):
+        assert make_task().task_id != make_task().task_id

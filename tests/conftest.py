@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Fixtures that are expensive to build (profile stores over larger
+configuration spaces) are session-scoped; tests must treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.profiles.configuration import ConfigurationSpace
+from repro.profiles.perf_model import AnalyticalPerformanceModel
+from repro.profiles.pricing import PricingModel
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.applications import build_paper_applications
+from repro.workloads.dag import Workflow
+
+
+@pytest.fixture(scope="session")
+def small_space() -> ConfigurationSpace:
+    """A compact configuration space (18 configs) for fast unit tests."""
+    return ConfigurationSpace.small()
+
+
+@pytest.fixture(scope="session")
+def small_store(small_space: ConfigurationSpace) -> ProfileStore:
+    """Profiles of all six functions over the small space."""
+    return ProfileStore.build(space=small_space)
+
+
+@pytest.fixture(scope="session")
+def default_store() -> ProfileStore:
+    """Profiles over the default configuration space (80 configs)."""
+    return ProfileStore.build()
+
+
+@pytest.fixture(scope="session")
+def perf_model() -> AnalyticalPerformanceModel:
+    """The deterministic performance model with default parameters."""
+    return AnalyticalPerformanceModel()
+
+
+@pytest.fixture(scope="session")
+def pricing() -> PricingModel:
+    """The paper's AWS-derived pricing model."""
+    return PricingModel()
+
+
+@pytest.fixture(scope="session")
+def paper_apps() -> list[Workflow]:
+    """The four applications of the paper's evaluation."""
+    return build_paper_applications()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A seeded random generator for per-test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def diamond_workflow() -> Workflow:
+    """A DAG with a split and a join (for dominator/grouping tests)."""
+    wf = Workflow("diamond")
+    wf.add_stage("a", "super_resolution")
+    wf.add_stage("b", "deblur")
+    wf.add_stage("c", "segmentation")
+    wf.add_stage("d", "classification")
+    wf.add_edge("a", "b")
+    wf.add_edge("a", "c")
+    wf.add_edge("b", "d")
+    wf.add_edge("c", "d")
+    wf.validate()
+    return wf

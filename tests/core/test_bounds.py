@@ -1,0 +1,89 @@
+"""Tests for the dual-blade pruning bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import SuffixBounds
+
+
+class TestSuffixConstruction:
+    def test_suffix_sums(self):
+        bounds = SuffixBounds.from_stages(
+            stage_min_latency_ms=[10.0, 20.0, 30.0],
+            stage_min_cost_cents=[1.0, 2.0, 3.0],
+            stage_fastest_cost_cents=[5.0, 6.0, 7.0],
+        )
+        assert bounds.min_latency_suffix == (60.0, 50.0, 30.0, 0.0)
+        assert bounds.min_cost_suffix == (6.0, 5.0, 3.0, 0.0)
+        assert bounds.fastest_cost_suffix == (18.0, 13.0, 7.0, 0.0)
+        assert bounds.num_stages == 3
+        assert bounds.minimum_total_latency_ms() == 60.0
+        assert bounds.minimum_total_cost_cents() == 6.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SuffixBounds.from_stages([1.0], [1.0, 2.0], [1.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            SuffixBounds.from_stages([-1.0], [1.0], [1.0])
+
+
+class TestExtensionBounds:
+    @pytest.fixture()
+    def bounds(self) -> SuffixBounds:
+        return SuffixBounds.from_stages(
+            stage_min_latency_ms=[10.0, 20.0, 30.0],
+            stage_min_cost_cents=[1.0, 2.0, 3.0],
+            stage_fastest_cost_cents=[5.0, 6.0, 7.0],
+        )
+
+    def test_bounds_for_first_stage_extension(self, bounds):
+        result = bounds.bounds_for_extension(0.0, 0.0, 15.0, 2.5, next_stage_index=1)
+        assert result.t_low_ms == pytest.approx(15.0 + 50.0)
+        assert result.rsc_low_cents == pytest.approx(2.5 + 5.0)
+        assert result.rsc_fastest_cents == pytest.approx(2.5 + 13.0)
+
+    def test_bounds_for_last_stage_are_exact(self, bounds):
+        result = bounds.bounds_for_extension(40.0, 4.0, 35.0, 3.5, next_stage_index=3)
+        assert result.t_low_ms == pytest.approx(75.0)
+        assert result.rsc_low_cents == pytest.approx(7.5)
+        assert result.rsc_fastest_cents == pytest.approx(7.5)
+
+    def test_out_of_range_index_rejected(self, bounds):
+        with pytest.raises(IndexError):
+            bounds.bounds_for_extension(0.0, 0.0, 1.0, 1.0, next_stage_index=4)
+
+    @given(
+        mins=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=0.01, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        prefix_latency=st.floats(min_value=0.0, max_value=500.0),
+        prefix_cost=st.floats(min_value=0.0, max_value=50.0),
+        entry_latency=st.floats(min_value=0.1, max_value=100.0),
+        entry_cost=st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_lower_bounds_really_are_lower_bounds(
+        self, mins, prefix_latency, prefix_cost, entry_latency, entry_cost
+    ):
+        """Property: tLow/rscLow never exceed any achievable completion, and
+        the fastest completion is itself achievable (rscFastest >= rscLow)."""
+        latencies = [m[0] for m in mins]
+        costs = [m[1] for m in mins]
+        fastest = [max(m[1], m[2]) for m in mins]  # fastest config can't be cheaper than the min cost
+        bounds = SuffixBounds.from_stages(latencies, costs, fastest)
+        idx = 1 if len(mins) >= 1 else 0
+        result = bounds.bounds_for_extension(
+            prefix_latency, prefix_cost, entry_latency, entry_cost, next_stage_index=min(idx, bounds.num_stages)
+        )
+        assert result.rsc_fastest_cents >= result.rsc_low_cents - 1e-9
+        assert result.t_low_ms >= prefix_latency + entry_latency - 1e-9

@@ -1,0 +1,51 @@
+"""Tests for the exhaustive path search used as an oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import brute_force_search
+from repro.core.esg_1q import StageSearchSpec
+
+
+def specs_for(store, functions):
+    return [StageSearchSpec.from_profile(f"s{i}", store.profile(fn)) for i, fn in enumerate(functions)]
+
+
+class TestBruteForce:
+    def test_examines_full_product_space(self, small_store):
+        functions = ["super_resolution", "segmentation"]
+        specs = specs_for(small_store, functions)
+        target = 10 * small_store.minimum_config_latency_ms(functions)
+        result = brute_force_search(specs, target)
+        assert result.examined == small_store.space.size ** 2
+
+    def test_paths_sorted_and_feasible(self, small_store):
+        functions = ["super_resolution", "classification"]
+        specs = specs_for(small_store, functions)
+        target = 1.5 * small_store.minimum_config_latency_ms(functions)
+        result = brute_force_search(specs, target, k=10)
+        costs = [p.cost_cents for p in result.paths]
+        assert costs == sorted(costs)
+        assert all(p.latency_ms < target for p in result.paths)
+        assert len(result.paths) <= 10
+
+    def test_infeasible_target_reports_no_paths(self, small_store):
+        specs = specs_for(small_store, ["deblur"])
+        result = brute_force_search(specs, 0.5)
+        assert not result.feasible
+        assert result.best is None
+
+    def test_invalid_arguments(self, small_store):
+        specs = specs_for(small_store, ["deblur"])
+        with pytest.raises(ValueError):
+            brute_force_search([], 10.0)
+        with pytest.raises(ValueError):
+            brute_force_search(specs, 10.0, k=0)
+
+    def test_max_examined_cap(self, small_store):
+        functions = ["super_resolution", "segmentation", "deblur"]
+        specs = specs_for(small_store, functions)
+        target = 10 * small_store.minimum_config_latency_ms(functions)
+        result = brute_force_search(specs, target, max_examined=100)
+        assert result.examined <= 101

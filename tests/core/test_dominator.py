@@ -1,0 +1,190 @@
+"""Tests for the dominator tree, ANL labelling and SLO distribution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominator import (
+    DominatorTree,
+    SLODistribution,
+    compute_anl,
+    distribute_slo,
+)
+from repro.workloads.applications import (
+    expanded_image_classification,
+    image_classification,
+)
+from repro.workloads.dag import Workflow
+
+
+class TestDominatorTree:
+    def test_linear_chain_dominators(self):
+        wf = Workflow.linear("chain", ["deblur", "segmentation", "classification"])
+        tree = DominatorTree(workflow=wf)
+        assert tree.root == "s1"
+        assert tree.immediate_dominator("s1") is None
+        assert tree.immediate_dominator("s2") == "s1"
+        assert tree.immediate_dominator("s3") == "s2"
+        assert tree.dominates("s1", "s3")
+        assert not tree.dominates("s3", "s1")
+        assert not tree.has_virtual_root
+
+    def test_diamond_dominators(self, diamond_workflow):
+        tree = DominatorTree(workflow=diamond_workflow)
+        # The join node d is dominated by a but not by either branch.
+        assert tree.immediate_dominator("d") == "a"
+        assert tree.dominates("a", "d")
+        assert not tree.dominates("b", "d")
+        assert not tree.dominates("c", "d")
+        assert set(tree.children("a")) == {"b", "c", "d"}
+
+    def test_multi_source_dag_gets_virtual_root(self):
+        wf = Workflow("multi")
+        wf.add_stage("x", "deblur")
+        wf.add_stage("y", "segmentation")
+        wf.add_stage("z", "classification")
+        wf.add_edge("x", "z")
+        wf.add_edge("y", "z")
+        tree = DominatorTree(workflow=wf)
+        assert tree.has_virtual_root
+        assert tree.immediate_dominator("x") == tree.root
+        assert tree.immediate_dominator("z") == tree.root
+
+    def test_every_node_dominated_by_root(self, diamond_workflow):
+        tree = DominatorTree(workflow=diamond_workflow)
+        for sid in diamond_workflow.stage_ids():
+            assert tree.dominates("a", sid)
+
+    def test_node_dominates_itself(self, diamond_workflow):
+        tree = DominatorTree(workflow=diamond_workflow)
+        for sid in diamond_workflow.stage_ids():
+            assert tree.dominates(sid, sid)
+
+
+class TestANL:
+    def test_anl_sums_to_one_for_linear_workflow(self, small_store):
+        wf = image_classification()
+        anl = compute_anl(wf, small_store)
+        assert sum(anl.values()) == pytest.approx(1.0)
+        assert set(anl) == set(wf.stage_ids())
+
+    def test_longer_functions_get_larger_anl(self, small_store):
+        wf = image_classification()  # super_resolution (86) < classification (147) < segmentation (293)
+        anl = compute_anl(wf, small_store)
+        assert anl["s2"] > anl["s3"] > anl["s1"]
+
+    def test_anl_positive(self, small_store, paper_apps):
+        for wf in paper_apps:
+            anl = compute_anl(wf, small_store)
+            assert all(v > 0 for v in anl.values())
+
+
+class TestDistributeSLO:
+    def test_linear_groups_of_three(self, small_store):
+        wf = expanded_image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        assert [g.stage_ids for g in dist.groups] == [("s1", "s2", "s3"), ("s4", "s5")]
+        assert dist.total_fraction() == pytest.approx(1.0)
+
+    def test_group_size_one_gives_per_stage_groups(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=1)
+        assert len(dist.groups) == 3
+        assert dist.total_fraction() == pytest.approx(1.0)
+
+    def test_group_size_larger_than_workflow(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=10)
+        assert len(dist.groups) == 1
+        assert dist.groups[0].slo_fraction == pytest.approx(1.0)
+
+    def test_fractions_proportional_to_anl(self, small_store):
+        wf = expanded_image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        anl = dist.anl
+        expected_first = sum(anl[s] for s in ("s1", "s2", "s3"))
+        assert dist.groups[0].slo_fraction == pytest.approx(expected_first, rel=1e-9)
+
+    def test_stage_fraction_splits_group_fraction(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        total = sum(dist.stage_fraction(s) for s in wf.stage_ids())
+        assert total == pytest.approx(1.0)
+
+    def test_group_of_and_stages_from(self, small_store):
+        wf = expanded_image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        group = dist.group_of("s2")
+        assert group.stage_ids == ("s1", "s2", "s3")
+        assert group.stages_from("s2") == ("s2", "s3")
+        assert dist.group_of("s5").stage_ids == ("s4", "s5")
+
+    def test_group_slo_ms_scales_end_to_end_budget(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=2)
+        budget = 1000.0
+        total = sum(g.slo_fraction for g in dist.groups) * budget
+        assert total == pytest.approx(1000.0)
+        assert dist.group_slo_ms("s1", budget) == pytest.approx(
+            dist.group_of("s1").slo_fraction * budget
+        )
+
+    def test_diamond_branch_groups(self, small_store, diamond_workflow):
+        dist = distribute_slo(diamond_workflow, small_store, group_size=3)
+        # Every stage must be covered exactly once.
+        covered = [sid for g in dist.groups for sid in g.stage_ids]
+        assert sorted(covered) == sorted(diamond_workflow.stage_ids())
+        # The budget along any source->sink path must not exceed the SLO.
+        for path in (["a", "b", "d"], ["a", "c", "d"]):
+            groups_on_path = {dist.group_of(s).index: dist.group_of(s).slo_fraction for s in path}
+            assert sum(groups_on_path.values()) <= 1.0 + 1e-9
+
+    def test_invalid_group_size_rejected(self, small_store):
+        with pytest.raises(ValueError):
+            distribute_slo(image_classification(), small_store, group_size=0)
+
+    def test_missing_anl_rejected(self, small_store):
+        wf = image_classification()
+        with pytest.raises(ValueError):
+            distribute_slo(wf, small_store, anl={"s1": 0.5})
+
+    def test_explicit_anl_respected(self, small_store):
+        wf = image_classification()
+        anl = {"s1": 0.2, "s2": 0.5, "s3": 0.3}
+        dist = distribute_slo(wf, small_store, group_size=1, anl=anl)
+        assert dist.groups[1].slo_fraction == pytest.approx(0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        group_size=st.integers(min_value=1, max_value=5),
+        num_stages=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_linear_distribution_covers_budget(self, small_store, group_size, num_stages):
+        """Property: for any linear pipeline and group size, the group
+        fractions are positive, cover every stage exactly once and sum to 1."""
+        functions = ["super_resolution", "deblur", "segmentation", "classification",
+                     "depth_recognition", "background_removal"][:num_stages]
+        wf = Workflow.linear("prop", functions)
+        dist = distribute_slo(wf, small_store, group_size=group_size)
+        covered = [sid for g in dist.groups for sid in g.stage_ids]
+        assert sorted(covered) == sorted(wf.stage_ids())
+        assert all(g.slo_fraction > 0 for g in dist.groups)
+        assert dist.total_fraction() == pytest.approx(1.0)
+        assert all(len(g.stage_ids) <= group_size for g in dist.groups)
+
+
+class TestSLODistributionValidation:
+    def test_duplicate_stage_in_groups_rejected(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        groups = dist.groups + [dist.groups[0]]
+        with pytest.raises(ValueError):
+            SLODistribution(workflow=wf, group_size=3, anl=dist.anl, groups=groups)
+
+    def test_uncovered_stage_rejected(self, small_store):
+        wf = image_classification()
+        dist = distribute_slo(wf, small_store, group_size=3)
+        with pytest.raises(ValueError):
+            SLODistribution(workflow=wf, group_size=3, anl=dist.anl, groups=dist.groups[:0])

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["tables"])
+        assert args.experiment == "tables"
+        assert args.requests == 120
+
+    def test_options_parse(self):
+        args = build_parser().parse_args(["fig5", "--requests", "30", "--seed", "9"])
+        assert args.requests == 30
+        assert args.seed == 9
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestMain:
+    def test_tables_command_prints_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+    def test_fig5_command(self, capsys):
+        assert main(["fig5", "--seed", "3"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for the static table reproductions and the Figure 5 arrivals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.arrivals import render_figure5, run_figure5
+from repro.experiments.report import format_percent, format_series, format_table
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_feature_matrix,
+    table2_testbed,
+    table3_functions,
+)
+
+
+class TestReport:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_percent(self):
+        assert format_percent(0.617) == "61.7%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_format_series(self):
+        text = format_series("curve", [(1, 0.5), (2, 0.25)])
+        assert text.startswith("curve:")
+        assert "1: 0.500" in text
+
+
+class TestTable1:
+    def test_feature_matrix_matches_paper(self):
+        rows = {r.feature: r for r in table1_feature_matrix()}
+        assert rows["GPU sharing"].esg and rows["GPU sharing"].infless
+        assert not rows["GPU sharing"].orion
+        assert rows["Inter-function relation"].orion and not rows["Inter-function relation"].infless
+        assert rows["Data locality"].esg and not rows["Data locality"].aquatope
+        assert len(rows) == 5
+
+    def test_render_contains_all_systems(self):
+        text = render_table1()
+        for name in ("INFless", "FaST-GShare", "Orion", "Aquatope", "ESG"):
+            assert name in text
+
+
+class TestTable2:
+    def test_testbed_defaults(self):
+        data = table2_testbed()
+        assert data["Nodes"] == "16"
+        assert data["vCPUs per node"] == "16"
+        assert data["vGPUs per node (MIG instances)"] == "7"
+        assert data["Total vGPUs"] == "112"
+
+    def test_render_table2(self):
+        assert "Table 2" in render_table2()
+
+
+class TestTable3:
+    def test_rows_match_specs(self):
+        rows = {r.function: r for r in table3_functions()}
+        assert rows["super_resolution"].exec_time_ms == 86.0
+        assert rows["background_removal"].model == "U2Net"
+        assert len(rows) == 6
+
+    def test_render_table3(self):
+        text = render_table3()
+        assert "SRGAN" in text and "MiDaS" in text
+
+
+class TestFigure5:
+    def test_distributions_cover_three_settings(self):
+        distributions = run_figure5(num_jobs=100, seed=1)
+        assert {d.setting for d in distributions} == {
+            "strict-light",
+            "moderate-normal",
+            "relaxed-heavy",
+        }
+        for dist in distributions:
+            assert len(dist.intervals_ms) == 100
+            assert dist.low_ms <= dist.min_ms <= dist.max_ms <= dist.high_ms
+
+    def test_heavy_intervals_shorter_than_light(self):
+        distributions = {d.setting: d for d in run_figure5(num_jobs=200, seed=2)}
+        assert distributions["relaxed-heavy"].mean_ms < distributions["moderate-normal"].mean_ms
+        assert distributions["moderate-normal"].mean_ms < distributions["strict-light"].mean_ms
+
+    def test_render(self):
+        assert "Figure 5" in render_figure5(run_figure5(num_jobs=50, seed=3))

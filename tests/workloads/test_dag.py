@@ -1,0 +1,126 @@
+"""Tests for the workflow DAG representation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.dag import Stage, Workflow, WorkflowValidationError
+
+
+class TestStage:
+    def test_requires_non_empty_ids(self):
+        with pytest.raises(WorkflowValidationError):
+            Stage(stage_id="", function_name="f")
+        with pytest.raises(WorkflowValidationError):
+            Stage(stage_id="s", function_name="")
+
+
+class TestConstruction:
+    def test_add_stage_and_edge(self):
+        wf = Workflow("w")
+        wf.add_stage("a", "deblur")
+        wf.add_stage("b", "classification")
+        wf.add_edge("a", "b")
+        assert wf.num_stages == 2
+        assert wf.successors("a") == ["b"]
+        assert wf.predecessors("b") == ["a"]
+
+    def test_duplicate_stage_rejected(self):
+        wf = Workflow("w")
+        wf.add_stage("a", "deblur")
+        with pytest.raises(WorkflowValidationError):
+            wf.add_stage("a", "deblur")
+
+    def test_edge_to_unknown_stage_rejected(self):
+        wf = Workflow("w")
+        wf.add_stage("a", "deblur")
+        with pytest.raises(WorkflowValidationError):
+            wf.add_edge("a", "zzz")
+
+    def test_self_edge_rejected(self):
+        wf = Workflow("w")
+        wf.add_stage("a", "deblur")
+        with pytest.raises(WorkflowValidationError):
+            wf.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        wf = Workflow("w")
+        wf.add_stage("a", "deblur")
+        wf.add_stage("b", "deblur")
+        wf.add_edge("a", "b")
+        with pytest.raises(WorkflowValidationError):
+            wf.add_edge("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow("")
+
+
+class TestLinearBuilder:
+    def test_linear_chain_structure(self):
+        wf = Workflow.linear("app", ["f1", "f2", "f3"])
+        assert wf.topological_order() == ["s1", "s2", "s3"]
+        assert wf.function_names() == ["f1", "f2", "f3"]
+        assert wf.is_linear()
+        assert wf.sources() == ["s1"]
+        assert wf.sinks() == ["s3"]
+
+    def test_single_stage_pipeline(self):
+        wf = Workflow.linear("one", ["f"])
+        assert wf.sources() == wf.sinks() == ["s1"]
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_linear_length_property(self, n):
+        wf = Workflow.linear("app", [f"fn{i}" for i in range(n)])
+        assert wf.num_stages == n
+        order = wf.topological_order()
+        assert len(order) == n
+        # In a chain, each stage except the last has exactly one successor.
+        for sid in order[:-1]:
+            assert len(wf.successors(sid)) == 1
+        assert wf.successors(order[-1]) == []
+
+
+class TestStructure:
+    def test_cycle_detected(self):
+        wf = Workflow("cyclic")
+        wf.add_stage("a", "f")
+        wf.add_stage("b", "g")
+        wf.add_edge("a", "b")
+        wf.add_edge("b", "a")
+        with pytest.raises(WorkflowValidationError, match="cycle"):
+            wf.topological_order()
+
+    def test_validate_empty_workflow(self):
+        with pytest.raises(WorkflowValidationError, match="no stages"):
+            Workflow("empty").validate()
+
+    def test_diamond_topological_order(self, diamond_workflow):
+        order = diamond_workflow.topological_order()
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_diamond_not_linear(self, diamond_workflow):
+        assert not diamond_workflow.is_linear()
+        assert diamond_workflow.sources() == ["a"]
+        assert diamond_workflow.sinks() == ["d"]
+
+    def test_downstream_stages(self, diamond_workflow):
+        assert set(diamond_workflow.downstream_stages("a")) == {"b", "c", "d"}
+        assert diamond_workflow.downstream_stages("d") == []
+
+    def test_unknown_stage_access_raises(self):
+        wf = Workflow.linear("app", ["f"])
+        with pytest.raises(KeyError):
+            wf.stage("nope")
+        with pytest.raises(KeyError):
+            wf.function_of("nope")
+
+    def test_contains_and_iter(self):
+        wf = Workflow.linear("app", ["f1", "f2"])
+        assert "s1" in wf and "s9" not in wf
+        assert [s.stage_id for s in wf] == ["s1", "s2"]

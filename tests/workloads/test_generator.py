@@ -1,0 +1,148 @@
+"""Tests for the workload settings and request-stream generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.workloads.applications import build_paper_applications, image_classification
+from repro.workloads.generator import (
+    MODERATE_NORMAL,
+    RELAXED_HEAVY,
+    STRICT_LIGHT,
+    WORKLOAD_SETTINGS,
+    WorkloadGenerator,
+    WorkloadSetting,
+)
+
+
+class TestWorkloadSettings:
+    def test_paper_settings_registered(self):
+        assert set(WORKLOAD_SETTINGS) == {"strict-light", "moderate-normal", "relaxed-heavy"}
+
+    def test_slo_factors(self):
+        assert STRICT_LIGHT.slo_factor == 0.8
+        assert MODERATE_NORMAL.slo_factor == 1.0
+        assert RELAXED_HEAVY.slo_factor == 1.2
+
+    def test_slo_scales_base_latency(self):
+        assert STRICT_LIGHT.slo_ms(1000.0) == pytest.approx(800.0)
+        assert RELAXED_HEAVY.slo_ms(500.0) == pytest.approx(600.0)
+
+    def test_strict_pairs_with_light_arrivals(self):
+        assert STRICT_LIGHT.intervals.mean_ms > RELAXED_HEAVY.intervals.mean_ms
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSetting("", 1.0, STRICT_LIGHT.intervals)
+        with pytest.raises(ValueError):
+            WorkloadSetting("x", 0.0, STRICT_LIGHT.intervals)
+
+
+@pytest.fixture()
+def generator(small_store) -> WorkloadGenerator:
+    return WorkloadGenerator(
+        applications=build_paper_applications(),
+        setting=RELAXED_HEAVY,
+        profile_store=small_store,
+        rng=derive_rng(5, "gen"),
+    )
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_number(self, generator):
+        requests = generator.generate(50)
+        assert len(requests) == 50
+        assert all(r.request_id == i for i, r in enumerate(requests))
+
+    def test_arrivals_increase(self, generator):
+        requests = generator.generate(50)
+        arrivals = [r.arrival_ms for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_slo_is_factor_times_base_latency(self, generator, small_store):
+        requests = generator.generate(30)
+        for request in requests:
+            base = small_store.minimum_config_latency_ms(request.workflow.function_names())
+            assert request.slo_ms == pytest.approx(1.2 * base)
+
+    def test_app_mix_covers_all_apps(self, generator):
+        requests = generator.generate(200)
+        apps = {r.app_name for r in requests}
+        assert apps == {
+            "image_classification",
+            "depth_recognition",
+            "background_elimination",
+            "expanded_image_classification",
+        }
+
+    def test_reproducible_with_same_seed(self, small_store):
+        def build():
+            return WorkloadGenerator(
+                applications=build_paper_applications(),
+                setting=STRICT_LIGHT,
+                profile_store=small_store,
+                rng=derive_rng(11, "repro"),
+            ).generate(40)
+
+        first = build()
+        second = build()
+        assert [(r.arrival_ms, r.app_name) for r in first] == [
+            (r.arrival_ms, r.app_name) for r in second
+        ]
+
+    def test_app_weights_bias_mix(self, small_store):
+        generator = WorkloadGenerator(
+            applications=build_paper_applications(),
+            setting=MODERATE_NORMAL,
+            profile_store=small_store,
+            rng=derive_rng(3, "weights"),
+            app_weights=[1.0, 0.0, 0.0, 0.0],
+        )
+        requests = generator.generate(30)
+        assert {r.app_name for r in requests} == {"image_classification"}
+
+    def test_invalid_weights_rejected(self, small_store):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(
+                applications=[image_classification()],
+                setting=MODERATE_NORMAL,
+                profile_store=small_store,
+                rng=derive_rng(1, "w"),
+                app_weights=[1.0, 2.0],
+            )
+        with pytest.raises(ValueError):
+            WorkloadGenerator(
+                applications=[image_classification()],
+                setting=MODERATE_NORMAL,
+                profile_store=small_store,
+                rng=derive_rng(1, "w"),
+                app_weights=[-1.0],
+            )
+
+    def test_empty_applications_rejected(self, small_store):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(
+                applications=[],
+                setting=MODERATE_NORMAL,
+                profile_store=small_store,
+                rng=derive_rng(1, "w"),
+            )
+
+    def test_generate_for_duration_bounds_arrivals(self, generator):
+        requests = generator.generate_for_duration(500.0)
+        assert requests
+        assert all(r.arrival_ms <= 500.0 for r in requests)
+
+    def test_mean_interval_matches_setting(self, small_store):
+        generator = WorkloadGenerator(
+            applications=build_paper_applications(),
+            setting=RELAXED_HEAVY,
+            profile_store=small_store,
+            rng=derive_rng(21, "mean"),
+        )
+        requests = generator.generate(500)
+        intervals = np.diff([r.arrival_ms for r in requests])
+        assert RELAXED_HEAVY.intervals.low_ms <= intervals.mean() <= RELAXED_HEAVY.intervals.high_ms

@@ -1,0 +1,92 @@
+"""Tests for request / job runtime records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.applications import image_classification
+from repro.workloads.request import Job, Request
+
+
+@pytest.fixture()
+def request_obj() -> Request:
+    return Request(request_id=1, workflow=image_classification(), arrival_ms=100.0, slo_ms=500.0)
+
+
+class TestRequest:
+    def test_deadline_and_budget(self, request_obj):
+        assert request_obj.deadline_ms == 600.0
+        assert request_obj.remaining_budget_ms(400.0) == 200.0
+        assert request_obj.remaining_budget_ms(700.0) == -100.0
+
+    def test_invalid_parameters_rejected(self):
+        wf = image_classification()
+        with pytest.raises(ValueError):
+            Request(request_id=1, workflow=wf, arrival_ms=-1.0, slo_ms=100.0)
+        with pytest.raises(ValueError):
+            Request(request_id=1, workflow=wf, arrival_ms=0.0, slo_ms=0.0)
+
+    def test_stage_completion_progression(self, request_obj):
+        assert not request_obj.is_complete
+        assert request_obj.stage_is_ready("s1")
+        assert not request_obj.stage_is_ready("s2")
+
+        request_obj.record_stage_completion("s1", 200.0, invoker_id=3)
+        assert request_obj.stage_is_ready("s2")
+        assert request_obj.remaining_stage_ids() == ["s2", "s3"]
+        assert not request_obj.is_complete
+
+        request_obj.record_stage_completion("s2", 300.0, invoker_id=4)
+        request_obj.record_stage_completion("s3", 450.0, invoker_id=4)
+        assert request_obj.is_complete
+        assert request_obj.completed_ms == 450.0
+        assert request_obj.latency_ms == 350.0
+        assert request_obj.slo_hit is True
+
+    def test_slo_miss(self, request_obj):
+        request_obj.record_stage_completion("s1", 200.0, invoker_id=0)
+        request_obj.record_stage_completion("s2", 500.0, invoker_id=0)
+        request_obj.record_stage_completion("s3", 700.0, invoker_id=0)
+        assert request_obj.slo_hit is False
+
+    def test_slo_hit_none_while_running(self, request_obj):
+        assert request_obj.slo_hit is None
+        assert request_obj.latency_ms is None
+
+    def test_double_completion_rejected(self, request_obj):
+        request_obj.record_stage_completion("s1", 200.0, invoker_id=0)
+        with pytest.raises(ValueError):
+            request_obj.record_stage_completion("s1", 250.0, invoker_id=0)
+
+    def test_unknown_stage_rejected(self, request_obj):
+        with pytest.raises(KeyError):
+            request_obj.record_stage_completion("zzz", 200.0, invoker_id=0)
+
+    def test_predecessor_invoker(self, request_obj):
+        assert request_obj.predecessor_invoker("s1") is None
+        request_obj.record_stage_completion("s1", 200.0, invoker_id=7)
+        assert request_obj.predecessor_invoker("s2") == 7
+
+
+class TestJob:
+    def test_function_and_app_names(self, request_obj):
+        job = Job(request=request_obj, stage_id="s2", ready_ms=150.0)
+        assert job.function_name == "segmentation"
+        assert job.app_name == "image_classification"
+
+    def test_waiting_time_non_negative(self, request_obj):
+        job = Job(request=request_obj, stage_id="s1", ready_ms=150.0)
+        assert job.waiting_ms(100.0) == 0.0
+        assert job.waiting_ms(200.0) == 50.0
+
+    def test_remaining_budget_delegates_to_request(self, request_obj):
+        job = Job(request=request_obj, stage_id="s1", ready_ms=150.0)
+        assert job.remaining_budget_ms(300.0) == request_obj.remaining_budget_ms(300.0)
+
+    def test_unknown_stage_rejected(self, request_obj):
+        with pytest.raises(KeyError):
+            Job(request=request_obj, stage_id="zzz", ready_ms=0.0)
+
+    def test_negative_ready_time_rejected(self, request_obj):
+        with pytest.raises(ValueError):
+            Job(request=request_obj, stage_id="s1", ready_ms=-5.0)

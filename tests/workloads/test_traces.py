@@ -1,0 +1,83 @@
+"""Tests for the arrival-interval generation (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_rng
+from repro.workloads.traces import (
+    HEAVY_INTERVALS,
+    LIGHT_INTERVALS,
+    NORMAL_INTERVALS,
+    ArrivalIntervalRange,
+    generate_arrival_times,
+    generate_intervals,
+)
+
+
+class TestIntervalRanges:
+    def test_paper_ranges(self):
+        assert (HEAVY_INTERVALS.low_ms, HEAVY_INTERVALS.high_ms) == (10.0, 16.8)
+        assert (NORMAL_INTERVALS.low_ms, NORMAL_INTERVALS.high_ms) == (20.0, 33.6)
+        assert (LIGHT_INTERVALS.low_ms, LIGHT_INTERVALS.high_ms) == (40.0, 67.2)
+
+    def test_mean_and_rate(self):
+        r = ArrivalIntervalRange(10.0, 20.0)
+        assert r.mean_ms == 15.0
+        assert r.mean_rate_per_s == pytest.approx(1000.0 / 15.0)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalIntervalRange(0.0, 10.0)
+        with pytest.raises(ValueError):
+            ArrivalIntervalRange(20.0, 10.0)
+
+    def test_heavier_settings_have_higher_rates(self):
+        assert HEAVY_INTERVALS.mean_rate_per_s > NORMAL_INTERVALS.mean_rate_per_s > LIGHT_INTERVALS.mean_rate_per_s
+
+
+class TestGenerateIntervals:
+    def test_all_intervals_within_range(self, rng):
+        intervals = generate_intervals(500, HEAVY_INTERVALS, rng)
+        assert intervals.shape == (500,)
+        assert np.all(intervals >= HEAVY_INTERVALS.low_ms)
+        assert np.all(intervals <= HEAVY_INTERVALS.high_ms)
+
+    def test_reproducible_with_same_seed(self):
+        a = generate_intervals(100, NORMAL_INTERVALS, derive_rng(9, "t"))
+        b = generate_intervals(100, NORMAL_INTERVALS, derive_rng(9, "t"))
+        assert np.array_equal(a, b)
+
+    def test_invalid_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_intervals(0, NORMAL_INTERVALS, rng)
+
+    def test_invalid_burstiness_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_intervals(10, NORMAL_INTERVALS, rng, burstiness=1.5)
+
+    def test_burstiness_keeps_intervals_positive_and_bounded(self, rng):
+        intervals = generate_intervals(300, LIGHT_INTERVALS, rng, burstiness=1.0)
+        assert np.all(intervals > 0)
+        assert np.all(intervals <= LIGHT_INTERVALS.high_ms * 1.5 + 1e-9)
+
+    @settings(max_examples=25)
+    @given(n=st.integers(min_value=1, max_value=200), seed=st.integers(min_value=0, max_value=1000))
+    def test_interval_bounds_property(self, n, seed):
+        intervals = generate_intervals(n, NORMAL_INTERVALS, derive_rng(seed, "prop"))
+        assert len(intervals) == n
+        assert np.all(intervals >= NORMAL_INTERVALS.low_ms)
+        assert np.all(intervals <= NORMAL_INTERVALS.high_ms)
+
+
+class TestGenerateArrivalTimes:
+    def test_arrival_times_are_strictly_increasing(self, rng):
+        arrivals = generate_arrival_times(200, HEAVY_INTERVALS, rng)
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_start_offset_applied(self, rng):
+        arrivals = generate_arrival_times(10, LIGHT_INTERVALS, rng, start_ms=1000.0)
+        assert arrivals[0] >= 1000.0 + LIGHT_INTERVALS.low_ms
