@@ -14,8 +14,10 @@ from repro.experiments.end_to_end import figure6_rows, render_figure6, run_end_t
 from repro.experiments.runner import DEFAULT_POLICIES
 
 
-def test_fig06_slo_hit_rate_and_cost(benchmark, bench_config):
-    results = run_once(benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config)
+def test_fig06_slo_hit_rate_and_cost(benchmark, bench_config, bench_jobs):
+    results = run_once(
+        benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config, n_jobs=bench_jobs
+    )
     rows = figure6_rows(results)
     print()
     print(render_figure6(rows))

@@ -9,9 +9,14 @@ from repro.experiments.end_to_end import figure7_curves, render_figure7, run_end
 from repro.experiments.runner import DEFAULT_POLICIES
 
 
-def test_fig07_end_to_end_latency_curves(benchmark, bench_config):
+def test_fig07_end_to_end_latency_curves(benchmark, bench_config, bench_jobs):
     results = run_once(
-        benchmark, run_end_to_end, DEFAULT_POLICIES, ("relaxed-heavy",), config=bench_config
+        benchmark,
+        run_end_to_end,
+        DEFAULT_POLICIES,
+        ("relaxed-heavy",),
+        config=bench_config,
+        n_jobs=bench_jobs,
     )
     curves = figure7_curves(results, setting="relaxed-heavy")
     print()

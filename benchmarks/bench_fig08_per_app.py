@@ -9,8 +9,10 @@ from repro.experiments.end_to_end import figure8_rows, render_figure8, run_end_t
 from repro.experiments.runner import DEFAULT_POLICIES
 
 
-def test_fig08_per_application_breakdown(benchmark, bench_config):
-    results = run_once(benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config)
+def test_fig08_per_application_breakdown(benchmark, bench_config, bench_jobs):
+    results = run_once(
+        benchmark, run_end_to_end, DEFAULT_POLICIES, config=bench_config, n_jobs=bench_jobs
+    )
     rows = figure8_rows(results)
     print()
     print(render_figure8(rows))

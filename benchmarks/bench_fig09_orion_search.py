@@ -7,13 +7,14 @@ from conftest import run_once
 from repro.experiments.orion_search import render_figure9, run_figure9
 
 
-def test_fig09_orion_search_tradeoff(benchmark, bench_config):
+def test_fig09_orion_search_tradeoff(benchmark, bench_config, bench_jobs):
     points = run_once(
         benchmark,
         run_figure9,
         (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0),
         setting="strict-light",
         config=bench_config,
+        n_jobs=bench_jobs,
     )
     print()
     print(render_figure9(points))

@@ -13,13 +13,14 @@ from repro.experiments.overhead import (
 )
 
 
-def test_fig10_esg_scheduling_overhead(benchmark, bench_config):
+def test_fig10_esg_scheduling_overhead(benchmark, bench_config, bench_jobs):
     distributions = run_once(
         benchmark,
         run_figure10,
         ("strict-light", "moderate-normal", "relaxed-heavy"),
         config=bench_config,
         group_size=3,
+        n_jobs=bench_jobs,
     )
     print()
     print(render_figure10(distributions))

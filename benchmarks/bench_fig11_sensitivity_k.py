@@ -7,9 +7,14 @@ from conftest import run_once
 from repro.experiments.sensitivity import render_figure11, run_figure11
 
 
-def test_fig11_sensitivity_to_k(benchmark, bench_config):
+def test_fig11_sensitivity_to_k(benchmark, bench_config, bench_jobs):
     points = run_once(
-        benchmark, run_figure11, (1, 5, 20, 40, 80), setting="strict-light", config=bench_config
+        benchmark,
+        run_figure11,
+        (1, 5, 20, 40, 80),
+        setting="strict-light",
+        config=bench_config,
+        n_jobs=bench_jobs,
     )
     print()
     print(render_figure11(points))

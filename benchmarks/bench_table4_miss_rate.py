@@ -7,13 +7,14 @@ from conftest import run_once
 from repro.experiments.miss_rate import render_table4, run_table4
 
 
-def test_table4_preplanned_miss_rate(benchmark, bench_config):
+def test_table4_preplanned_miss_rate(benchmark, bench_config, bench_jobs):
     rows = run_once(
         benchmark,
         run_table4,
         ("Orion", "Aquatope"),
         ("strict-light", "moderate-normal", "relaxed-heavy"),
         config=bench_config,
+        n_jobs=bench_jobs,
     )
     print()
     print(render_table4(rows))

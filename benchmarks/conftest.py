@@ -3,9 +3,11 @@
 Every benchmark regenerates one table or figure of the paper and prints the
 reproduced rows/series.  The workload size is deliberately smaller than the
 paper's (hundreds of requests) so the whole suite runs in minutes; set the
-``REPRO_BENCH_REQUESTS`` environment variable to scale it up, e.g.::
+``REPRO_BENCH_REQUESTS`` environment variable to scale it up, and
+``REPRO_BENCH_JOBS`` to fan the sweeps out across worker processes
+(0 = one per core), e.g.::
 
-    REPRO_BENCH_REQUESTS=300 pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_REQUESTS=300 REPRO_BENCH_JOBS=0 pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
@@ -25,10 +27,21 @@ def bench_requests() -> int:
     return int(os.environ.get("REPRO_BENCH_REQUESTS", DEFAULT_BENCH_REQUESTS))
 
 
+def bench_n_jobs() -> int:
+    """Worker processes per sweep (overridable via REPRO_BENCH_JOBS; 0 = all cores)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", 1))
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     """The experiment configuration shared by all benchmarks."""
     return ExperimentConfig(num_requests=bench_requests(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker-process count shared by all benchmark sweeps."""
+    return bench_n_jobs()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -85,7 +85,9 @@ class FaSTGSharePolicy(SchedulingPolicy):
             key=lambda e: (-self._gpu_efficiency(e), e.per_job_cost_cents, e.latency_ms),
         )
         candidates = [e.config for e in ranked[: self.num_candidates]]
-        return SchedulingDecision(candidates=candidates)
+        # A single scan of the profile table: report zero overhead (like
+        # Aquatope's lookup) so runs stay deterministic across machines.
+        return SchedulingDecision(candidates=candidates, reported_overhead_ms=0.0)
 
     # ------------------------------------------------------------------
     # Placement: minimise GPU fragmentation

@@ -103,7 +103,9 @@ class INFlessPolicy(SchedulingPolicy):
             key=lambda e: (-self._throughput(e), -self._efficiency(e), e.per_job_cost_cents),
         )
         candidates = [e.config for e in ranked[: self.num_candidates]]
-        return SchedulingDecision(candidates=candidates)
+        # A single scan of the profile table: report zero overhead (like
+        # Aquatope's lookup) so runs stay deterministic across machines.
+        return SchedulingDecision(candidates=candidates, reported_overhead_ms=0.0)
 
     # ------------------------------------------------------------------
     # Placement: minimise resource fragmentation (best fit)

@@ -1,12 +1,25 @@
-"""Event types for the discrete-event simulation."""
+"""Event types for the discrete-event simulation.
+
+Dispatch is polymorphic: every concrete event implements :meth:`Event.apply`,
+which receives the :class:`~repro.cluster.simulator.Simulation` and performs
+the state transition.  The simulator routes events through a handler
+registry whose default entry simply calls ``event.apply(simulation)``, so
+new scenario types can either subclass :class:`Event` (and implement
+``apply``) or register an external handler via
+:meth:`Simulation.register_handler` — no ``isinstance`` chain to extend.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.container import Container
 from repro.cluster.tasks import Task
 from repro.workloads.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.cluster.simulator import Simulation
 
 __all__ = [
     "Event",
@@ -27,12 +40,21 @@ class Event:
         if self.time_ms < 0:
             raise ValueError(f"event time must be >= 0, got {self.time_ms}")
 
+    def apply(self, simulation: "Simulation") -> None:
+        """Perform this event's state transition on ``simulation``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither apply() nor a registered handler"
+        )
+
 
 @dataclass(frozen=True)
 class RequestArrivalEvent(Event):
     """A new application request arrives at the platform."""
 
     request: Request = field(compare=False)
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_request_arrival(self.request, simulation.now_ms)
 
 
 @dataclass(frozen=True)
@@ -41,10 +63,21 @@ class TaskCompletionEvent(Event):
 
     task: Task = field(compare=False)
 
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_task_completion(self.task, simulation.now_ms)
+
 
 @dataclass(frozen=True)
 class SchedulerTickEvent(Event):
-    """Periodic controller tick: scan the AFW queues round-robin."""
+    """Periodic controller tick: scan the AFW queues round-robin.
+
+    The simulator resets its tick-pending flag itself when it pops one of
+    these (so shadowing this handler cannot stall re-scheduling); ``apply``
+    only has to run the controller scan.
+    """
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_tick(simulation.now_ms)
 
 
 @dataclass(frozen=True)
@@ -52,3 +85,6 @@ class PrewarmCompleteEvent(Event):
     """A prewarmed container finishes its cold start and becomes warm."""
 
     container: Container = field(compare=False)
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_prewarm_complete(self.container, simulation.now_ms)

@@ -46,6 +46,9 @@ class RunSummary:
     per_app_slo_hit_rate: dict[str, float]
     per_app_cost_cents: dict[str, float]
     per_app_mean_latency_ms: dict[str, float]
+    #: True when the run stopped before the event queue drained (horizon
+    #: ``max_time_ms`` reached or ``max_events`` exhausted).
+    truncated: bool = False
 
     @property
     def plan_miss_rate(self) -> float:
@@ -77,6 +80,7 @@ class RunSummary:
             "mean_waiting_ms": self.mean_waiting_ms,
             "total_vgpu_ms": self.total_vgpu_ms,
             "total_vcpu_ms": self.total_vcpu_ms,
+            "truncated": self.truncated,
         }
 
 
@@ -97,6 +101,8 @@ class MetricsCollector:
     remote_transfers: int = 0
     forced_min_dispatches: int = 0
     prewarm_count: int = 0
+    #: Set by the simulator when the run stops before the queue drains.
+    truncated: bool = False
 
     # ------------------------------------------------------------------
     # Recording
@@ -245,4 +251,5 @@ class MetricsCollector:
             per_app_slo_hit_rate=per_app_hit,
             per_app_cost_cents=per_app_cost,
             per_app_mean_latency_ms=per_app_latency,
+            truncated=self.truncated,
         )

@@ -11,18 +11,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, ClassVar, Sequence
 
 from repro.cluster.cluster import ClusterConfig, ClusterState
 from repro.cluster.controller import Controller, ControllerConfig
 from repro.cluster.datatransfer import DataTransferModel
-from repro.cluster.events import (
-    Event,
-    PrewarmCompleteEvent,
-    RequestArrivalEvent,
-    SchedulerTickEvent,
-    TaskCompletionEvent,
-)
+from repro.cluster.events import Event, RequestArrivalEvent, SchedulerTickEvent
 from repro.cluster.metrics import MetricsCollector, RunSummary
 from repro.cluster.policy_api import SchedulingContext, SchedulingPolicy
 from repro.cluster.prewarm import PrewarmManager
@@ -38,7 +32,14 @@ from repro.utils.rng import derive_rng
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Request
 
-__all__ = ["EventLoop", "SimulationConfig", "Simulation"]
+__all__ = ["EventLoop", "SimulationConfig", "Simulation", "EventHandler", "SimulationHook", "EventHook"]
+
+#: A registered event handler: receives the simulation and the event.
+EventHandler = Callable[["Simulation", Event], None]
+#: An observer invoked with only the simulation (progress / horizon hooks).
+SimulationHook = Callable[["Simulation"], None]
+#: An observer invoked after every handled event.
+EventHook = Callable[["Simulation", Event], None]
 
 
 class EventLoop:
@@ -94,7 +95,18 @@ class SimulationConfig:
 
 
 class Simulation:
-    """One run: a policy scheduling a request stream on the emulated cluster."""
+    """One run: a policy scheduling a request stream on the emulated cluster.
+
+    Event dispatch is table-driven: :meth:`register_handler` maps an event
+    type to a handler, and the base :class:`Event` entry falls back to the
+    event's own :meth:`Event.apply`.  Observers can watch a run without
+    subclassing through the hook API (:meth:`on_event`, :meth:`on_progress`,
+    :meth:`on_horizon_reached`).
+    """
+
+    #: Class-level handler registry; the base ``Event`` entry dispatches to
+    #: ``event.apply(simulation)`` so new event types work out of the box.
+    _handlers: ClassVar[dict[type, EventHandler]] = {}
 
     def __init__(
         self,
@@ -119,6 +131,11 @@ class Simulation:
         self.now_ms = 0.0
         self._tick_scheduled = False
         self._processed_events = 0
+        self._truncated = False
+        self._instance_handlers: dict[type, EventHandler] = {}
+        self._event_hooks: list[EventHook] = []
+        self._progress_hooks: list[tuple[SimulationHook, int]] = []
+        self._horizon_hooks: list[SimulationHook] = []
 
         if runtime_perf_model is None:
             runtime_perf_model = NoisyPerformanceModel(
@@ -165,34 +182,117 @@ class Simulation:
             self.events.push(RequestArrivalEvent(time_ms=request.arrival_ms, request=request))
 
     # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    @classmethod
+    def register_handler(
+        cls, event_type: type[Event], handler: EventHandler | None = None
+    ) -> Callable[[EventHandler], EventHandler] | EventHandler:
+        """Register ``handler`` for ``event_type`` (usable as a decorator).
+
+        The most derived registered type along the event's MRO wins, so a
+        handler for a subclass shadows the base :class:`Event` entry (which
+        dispatches to :meth:`Event.apply`).
+        """
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"event_type must be an Event subclass, got {event_type!r}")
+
+        def _register(fn: EventHandler) -> EventHandler:
+            cls._handlers[event_type] = fn
+            return fn
+
+        if handler is not None:
+            return _register(handler)
+        return _register
+
+    def add_handler(self, event_type: type[Event], handler: EventHandler) -> None:
+        """Register ``handler`` for ``event_type`` on this simulation only.
+
+        Instance handlers take precedence over the class-level registry,
+        so one experiment can instrument its run without changing dispatch
+        for every other :class:`Simulation` in the process.
+        """
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"event_type must be an Event subclass, got {event_type!r}")
+        self._instance_handlers[event_type] = handler
+
+    def _dispatch(self, event: Event) -> None:
+        """Route ``event`` to a handler: instance registrations win outright.
+
+        All of this simulation's handlers are consulted (walking the event's
+        MRO) before any class-registered one, so a per-instance handler for a
+        base type beats a process-wide handler for the exact type — matching
+        :meth:`add_handler`'s precedence promise.
+        """
+        mro = type(event).__mro__
+        for klass in mro:
+            handler = self._instance_handlers.get(klass)
+            if handler is not None:
+                handler(self, event)
+                return
+        for klass in mro:
+            handler = self._handlers.get(klass)
+            if handler is not None:
+                handler(self, event)
+                return
+        raise TypeError(f"no handler registered for event type {type(event).__name__}")
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_event(self, hook: EventHook) -> EventHook:
+        """Call ``hook(simulation, event)`` after every handled event."""
+        self._event_hooks.append(hook)
+        return hook
+
+    def on_progress(self, hook: SimulationHook, *, every_events: int = 1000) -> SimulationHook:
+        """Call ``hook(simulation)`` every ``every_events`` processed events."""
+        if every_events <= 0:
+            raise ValueError(f"every_events must be positive, got {every_events}")
+        self._progress_hooks.append((hook, every_events))
+        return hook
+
+    def on_horizon_reached(self, hook: SimulationHook) -> SimulationHook:
+        """Call ``hook(simulation)`` once if the run truncates at ``max_time_ms``."""
+        self._horizon_hooks.append(hook)
+        return hook
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:
-        """Process events until the workload drains; returns the run summary."""
+        """Process events until the workload drains; returns the run summary.
+
+        The run stops early — marking the summary ``truncated`` — when the
+        next pending event lies beyond ``max_time_ms`` (the event stays in
+        the queue and ``now_ms`` never advances past the horizon) or when
+        ``max_events`` is exhausted.
+        """
         while not self.events.empty:
             if self._processed_events >= self.config.max_events:
+                self._truncated = True
+                break
+            if self.events.peek_time() > self.config.max_time_ms:
+                self._truncated = True
+                for horizon_hook in self._horizon_hooks:
+                    horizon_hook(self)
                 break
             event = self.events.pop()
-            if event.time_ms > self.config.max_time_ms:
-                break
             self.now_ms = max(self.now_ms, event.time_ms)
-            self._handle(event)
+            if isinstance(event, SchedulerTickEvent):
+                # Engine-owned invariant: the pending tick is consumed the
+                # moment it is popped, no matter which handler processes it.
+                self._tick_scheduled = False
+            self._dispatch(event)
             self._processed_events += 1
+            for event_hook in self._event_hooks:
+                event_hook(self, event)
+            for progress_hook, every in self._progress_hooks:
+                if self._processed_events % every == 0:
+                    progress_hook(self)
             self._maybe_schedule_tick()
+        self.metrics.truncated = self._truncated
         return self.metrics.summary()
-
-    def _handle(self, event: Event) -> None:
-        if isinstance(event, RequestArrivalEvent):
-            self.controller.on_request_arrival(event.request, self.now_ms)
-        elif isinstance(event, TaskCompletionEvent):
-            self.controller.on_task_completion(event.task, self.now_ms)
-        elif isinstance(event, SchedulerTickEvent):
-            self._tick_scheduled = False
-            self.controller.on_tick(self.now_ms)
-        elif isinstance(event, PrewarmCompleteEvent):
-            self.controller.on_prewarm_complete(event.container, self.now_ms)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown event type {type(event).__name__}")
 
     def _maybe_schedule_tick(self) -> None:
         """Keep the controller ticking while work is pending."""
@@ -213,6 +313,11 @@ class Simulation:
         """Number of events handled so far."""
         return self._processed_events
 
+    @property
+    def truncated(self) -> bool:
+        """True when the run stopped at the horizon or the event cap."""
+        return self._truncated
+
     def config_space(self) -> ConfigurationSpace:
         """The configuration space the run uses."""
         return self.profile_store.space
@@ -220,3 +325,9 @@ class Simulation:
     def pricing(self) -> PricingModel:
         """The pricing model the run uses."""
         return self.profile_store.pricing
+
+
+# Default dispatch: any event type without a more specific handler applies
+# itself.  Registered once at import time; experiments can shadow it for
+# individual event types via ``Simulation.register_handler``.
+Simulation.register_handler(Event, lambda simulation, event: event.apply(simulation))

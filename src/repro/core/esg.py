@@ -43,6 +43,7 @@ class ESGPolicy(SchedulingPolicy):
         batching: bool = True,
         safety_margin: float = 0.12,
         max_paths: int = 5000,
+        per_expansion_ms: float | None = 0.001,
         name: str | None = None,
     ) -> None:
         """Create the policy.
@@ -72,6 +73,13 @@ class ESGPolicy(SchedulingPolicy):
             ``quota * (1 - safety_margin)``.
         max_paths:
             Safety cap forwarded to the ESG_1Q search.
+        per_expansion_ms:
+            Models the per-decision scheduling overhead as
+            ``expansions * per_expansion_ms`` (the same idiom Orion uses),
+            keeping runs deterministic and machine-independent; the default
+            is calibrated so the distribution lands in the paper's 3-8 ms
+            range.  Pass ``None`` to fall back to the controller's
+            wall-clock measurement of ``plan()``.
         name:
             Override the reported policy name (used by the ablation study).
         """
@@ -89,6 +97,9 @@ class ESGPolicy(SchedulingPolicy):
         self._batching = batching
         self.safety_margin = safety_margin
         self.max_paths = max_paths
+        if per_expansion_ms is not None and per_expansion_ms < 0:
+            raise ValueError(f"per_expansion_ms must be >= 0, got {per_expansion_ms}")
+        self.per_expansion_ms = per_expansion_ms
         if name is not None:
             self.name = name
         self._distributions: dict[str, SLODistribution] = {}
@@ -132,7 +143,17 @@ class ESGPolicy(SchedulingPolicy):
         candidates = result.candidate_configs()
         best = result.best
         planned = best.as_plan(group_stage_ids) if best is not None else None
-        return SchedulingDecision(candidates=candidates, planned_path=planned)
+        return SchedulingDecision(
+            candidates=candidates,
+            planned_path=planned,
+            reported_overhead_ms=self._modeled_overhead_ms(result.expansions),
+        )
+
+    def _modeled_overhead_ms(self, expansions: int) -> float | None:
+        """Deterministic overhead estimate (None = let the controller measure)."""
+        if self.per_expansion_ms is None:
+            return None
+        return expansions * self.per_expansion_ms
 
     def _group_and_target(self, queue: AFWQueue, now_ms: float) -> tuple[list[str], float]:
         """Determine the remaining group stages and their latency quota.
@@ -151,7 +172,9 @@ class ESGPolicy(SchedulingPolicy):
         remaining = set(request.remaining_stage_ids())
         remaining.add(queue.stage_id)
 
-        remaining_total = sum(dist.stage_fraction(sid) for sid in remaining)
+        # Summed in sorted order: float addition is not associative, and set
+        # iteration order varies with hash randomisation across processes.
+        remaining_total = sum(dist.stage_fraction(sid) for sid in sorted(remaining))
         group_remaining = sum(
             dist.stage_fraction(sid) for sid in group_stage_ids if sid in remaining
         )
@@ -205,6 +228,9 @@ class ESGPolicy(SchedulingPolicy):
         """Reuse (or create) a whole-workflow plan instead of re-searching."""
         job = queue.oldest_job()
         request = job.request
+        # Reusing an existing plan is a dictionary lookup; only the initial
+        # whole-workflow search carries a modeled cost.
+        plan_overhead_ms = 0.0 if self.per_expansion_ms is not None else None
         if request.static_plan is None:
             # First stage of this request: plan the whole workflow once.
             workflow = queue.workflow
@@ -217,6 +243,7 @@ class ESGPolicy(SchedulingPolicy):
             if best is None:
                 return None
             request.static_plan = best.as_plan(stage_ids)
+            plan_overhead_ms = self._modeled_overhead_ms(result.expansions)
         planned = request.static_plan.get(queue.stage_id)
         if planned is None:
             return None
@@ -229,6 +256,7 @@ class ESGPolicy(SchedulingPolicy):
             planned_path=dict(request.static_plan),
             used_preplanned=True,
             plan_miss=miss,
+            reported_overhead_ms=plan_overhead_ms,
         )
 
     def _stage_specs_for_plan(self, queue: AFWQueue, stage_ids: list[str]) -> list[StageSearchSpec]:

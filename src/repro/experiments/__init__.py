@@ -17,8 +17,12 @@ Figure 10       :mod:`repro.experiments.overhead`
 Figure 11/5.4   :mod:`repro.experiments.sensitivity`
 Figure 12       :mod:`repro.experiments.ablation`
 ==============  ==========================================
+
+All sweeps execute through :mod:`repro.experiments.engine`, which fans
+independent runs out across worker processes when ``n_jobs > 1``.
 """
 
+from repro.experiments.engine import ExperimentEngine, RunSpec, execute_spec
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentConfig,
@@ -34,9 +38,12 @@ from repro.experiments.runner import (
 __all__ = [
     "DEFAULT_POLICIES",
     "ExperimentConfig",
+    "ExperimentEngine",
     "RunResult",
+    "RunSpec",
     "build_profile_store",
     "build_requests",
+    "execute_spec",
     "make_policy",
     "run_experiment",
     "run_matrix",

@@ -14,10 +14,17 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.esg import ESGPolicy
+from repro.experiments.engine import ExperimentEngine, RunSpec, resolve_n_jobs
 from repro.experiments.report import format_percent, format_table
 from repro.experiments.runner import ExperimentConfig, run_experiment
 
-__all__ = ["AblationRow", "ablation_variants", "run_figure12", "render_figure12"]
+__all__ = [
+    "AblationRow",
+    "ablation_variants",
+    "ablation_variant_overrides",
+    "run_figure12",
+    "render_figure12",
+]
 
 
 @dataclass(frozen=True)
@@ -33,12 +40,20 @@ class AblationRow:
     total_vgpu_ms: float
 
 
+def ablation_variant_overrides() -> dict[str, dict[str, object]]:
+    """ESG constructor overrides of each Figure 12 variant (picklable form)."""
+    return {
+        "ESG": {},
+        "ESG w/o GPU sharing": {"gpu_sharing": False, "name": "ESG w/o GPU sharing"},
+        "ESG w/o batching": {"batching": False, "name": "ESG w/o batching"},
+    }
+
+
 def ablation_variants() -> dict[str, ESGPolicy]:
     """The three ESG variants of the Figure 12 ablation."""
     return {
-        "ESG": ESGPolicy(),
-        "ESG w/o GPU sharing": ESGPolicy(gpu_sharing=False, name="ESG w/o GPU sharing"),
-        "ESG w/o batching": ESGPolicy(batching=False, name="ESG w/o batching"),
+        label: ESGPolicy(**overrides)
+        for label, overrides in ablation_variant_overrides().items()
     }
 
 
@@ -47,23 +62,51 @@ def run_figure12(
     setting: str = "relaxed-heavy",
     config: ExperimentConfig | None = None,
     variants: Iterable[tuple[str, ESGPolicy]] | None = None,
+    n_jobs: int | None = 1,
 ) -> list[AblationRow]:
-    """Run the ablation study under a heavy workload."""
+    """Run the ablation study under a heavy workload.
+
+    The default variant set runs through the experiment engine (so
+    ``n_jobs`` parallelises it); passing live policy objects via
+    ``variants`` forces the sequential in-process path.
+    """
     config = config or ExperimentConfig()
-    items = list(variants) if variants is not None else list(ablation_variants().items())
-    raw: list[tuple[str, float, float, float, float, float]] = []
-    for label, policy in items:
-        result = run_experiment(policy, setting, config=config)
-        raw.append(
-            (
-                label,
-                result.summary.slo_hit_rate,
-                result.summary.total_cost_cents,
-                result.summary.mean_waiting_ms,
-                result.summary.mean_latency_ms,
-                result.summary.total_vgpu_ms,
+    if variants is None:
+        specs = [
+            RunSpec(
+                policy="ESG",
+                setting=setting,
+                config=config,
+                policy_overrides=overrides,
+                label=label,
+                summary_only=True,
             )
+            for label, overrides in ablation_variant_overrides().items()
+        ]
+        labels = [spec.label for spec in specs]
+        summaries = [r.summary for r in ExperimentEngine(n_jobs).run(specs)]
+    else:
+        items = list(variants)
+        if resolve_n_jobs(n_jobs) != 1:
+            raise ValueError(
+                "run_figure12 with n_jobs != 1 requires the default variants; "
+                "live policy objects cannot be shipped to worker processes"
+            )
+        labels = [label for label, _ in items]
+        summaries = [
+            run_experiment(policy, setting, config=config).summary for _, policy in items
+        ]
+    raw = [
+        (
+            label,
+            summary.slo_hit_rate,
+            summary.total_cost_cents,
+            summary.mean_waiting_ms,
+            summary.mean_latency_ms,
+            summary.total_vgpu_ms,
         )
+        for label, summary in zip(labels, summaries)
+    ]
     esg_cost = next((cost for label, _, cost, _, _, _ in raw if label == "ESG"), None)
     rows: list[AblationRow] = []
     for label, hit, cost, wait, latency, vgpu_ms in raw:

@@ -11,6 +11,10 @@ Run the end-to-end comparison with a smaller workload::
 
     esg-repro fig6 --requests 80 --seed 7
 
+Run the end-to-end matrix across four worker processes::
+
+    esg-repro fig6 --jobs 4
+
 Run everything (can take several minutes)::
 
     esg-repro all
@@ -57,6 +61,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(num_requests=args.requests, seed=args.seed)
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    return args.jobs
+
+
 def _cmd_tables(args: argparse.Namespace) -> str:
     return "\n\n".join([render_table1(), render_table2(), render_table3()])
 
@@ -66,7 +74,7 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6_7_8(args: argparse.Namespace) -> str:
-    results = run_end_to_end(config=_config_from_args(args))
+    results = run_end_to_end(config=_config_from_args(args), n_jobs=_jobs(args))
     parts = [
         render_figure6(figure6_rows(results)),
         render_figure7(figure7_curves(results)),
@@ -76,21 +84,21 @@ def _cmd_fig6_7_8(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    results = run_end_to_end(config=_config_from_args(args))
+    results = run_end_to_end(config=_config_from_args(args), n_jobs=_jobs(args))
     return render_figure6(figure6_rows(results))
 
 
 def _cmd_table4(args: argparse.Namespace) -> str:
-    return render_table4(run_table4(config=_config_from_args(args)))
+    return render_table4(run_table4(config=_config_from_args(args), n_jobs=_jobs(args)))
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    return render_figure9(run_figure9(config=_config_from_args(args)))
+    return render_figure9(run_figure9(config=_config_from_args(args), n_jobs=_jobs(args)))
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     parts = [
-        render_figure10(run_figure10(config=_config_from_args(args))),
+        render_figure10(run_figure10(config=_config_from_args(args), n_jobs=_jobs(args))),
         render_bruteforce_comparison(run_bruteforce_comparison()),
     ]
     return "\n\n".join(parts)
@@ -98,14 +106,14 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
 
 def _cmd_fig11(args: argparse.Namespace) -> str:
     parts = [
-        render_figure11(run_figure11(config=_config_from_args(args))),
+        render_figure11(run_figure11(config=_config_from_args(args), n_jobs=_jobs(args))),
         render_group_size_search(run_group_size_search()),
     ]
     return "\n\n".join(parts)
 
 
 def _cmd_fig12(args: argparse.Namespace) -> str:
-    return render_figure12(run_figure12(config=_config_from_args(args)))
+    return render_figure12(run_figure12(config=_config_from_args(args), n_jobs=_jobs(args)))
 
 
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
@@ -134,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--requests", type=int, default=120, help="requests per run (default 120)")
     parser.add_argument("--seed", type=int, default=42, help="experiment seed (default 42)")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simulation sweeps (default 1 = in-process, 0 = all cores)",
+    )
     return parser
 
 

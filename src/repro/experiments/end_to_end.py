@@ -81,9 +81,14 @@ def run_end_to_end(
     settings: Iterable[str] = tuple(WORKLOAD_SETTINGS),
     *,
     config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> dict[tuple[str, str], RunResult]:
-    """Run the full (setting x policy) matrix used by Figures 6-8."""
-    return run_matrix(policies, settings, config=config)
+    """Run the full (setting x policy) matrix used by Figures 6-8.
+
+    ``n_jobs`` fans the independent cells out across worker processes
+    (1 = in-process, ``None``/0 = one per core); results are identical.
+    """
+    return run_matrix(policies, settings, config=config, n_jobs=n_jobs)
 
 
 # ----------------------------------------------------------------------

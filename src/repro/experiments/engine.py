@@ -1,0 +1,174 @@
+"""Parallel experiment engine: picklable run specs and a process-pool executor.
+
+Every experiment run in this repository is seed-deterministic and mutually
+independent — a (policy, setting, config) triple fully determines its
+:class:`~repro.cluster.metrics.RunSummary`.  That makes sweeps
+embarrassingly parallel: a :class:`RunSpec` captures one run as plain
+picklable data (policy *name* plus constructor overrides, never a live
+policy object), and an :class:`ExperimentEngine` executes a batch of specs
+either in-process (``n_jobs=1``, the debuggable default) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Each worker process rebuilds the :class:`~repro.profiles.profiler.ProfileStore`
+once per configuration space and caches it for the specs it executes
+(profiling is deterministic, and policies only read the store).  Results
+come back in spec order with summaries identical to the sequential path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.policy_api import SchedulingPolicy
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunResult,
+    build_profile_store,
+    make_policy,
+    run_experiment,
+)
+from repro.profiles.configuration import ConfigurationSpace
+from repro.profiles.profiler import ProfileStore
+from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadSetting
+
+__all__ = ["RunSpec", "ExperimentEngine", "execute_spec", "resolve_n_jobs"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A self-contained, picklable description of one simulated run.
+
+    The policy is stored by *name* (plus keyword overrides for its
+    constructor) rather than as an instance: policies accumulate run state,
+    so shipping a fresh build recipe to each worker is both safer and
+    cheaper than pickling live objects.
+    """
+
+    policy: str
+    setting: str | WorkloadSetting
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    policy_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Optional bookkeeping label (e.g. an ablation variant name).
+    label: str | None = None
+    #: When True the result carries only the :class:`RunSummary` (empty
+    #: ``requests``/``metrics``): sweeps that read a few summary scalars
+    #: avoid shipping every request object back over worker IPC.
+    summary_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, str):
+            raise TypeError(
+                "RunSpec.policy must be a policy name; pass constructor arguments "
+                f"via policy_overrides (got {type(self.policy).__name__})"
+            )
+        if isinstance(self.setting, str) and self.setting not in WORKLOAD_SETTINGS:
+            raise KeyError(
+                f"unknown workload setting {self.setting!r}; "
+                f"expected one of {', '.join(WORKLOAD_SETTINGS)}"
+            )
+
+    @property
+    def setting_name(self) -> str:
+        """Name of the workload setting this spec runs under."""
+        return self.setting if isinstance(self.setting, str) else self.setting.name
+
+    def build_policy(self) -> SchedulingPolicy:
+        """Instantiate a fresh policy from the stored name and overrides."""
+        return make_policy(self.policy, **dict(self.policy_overrides))
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+#: Per-process cache: profiling a configuration space is deterministic and
+#: policies only read the store, so one build per (worker, space) suffices.
+_PROFILE_STORE_CACHE: dict[ConfigurationSpace, ProfileStore] = {}
+
+
+def _profile_store_for(space: ConfigurationSpace) -> ProfileStore:
+    store = _PROFILE_STORE_CACHE.get(space)
+    if store is None:
+        store = build_profile_store(space)
+        _PROFILE_STORE_CACHE[space] = store
+    return store
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec and return its full result.
+
+    Module-level (not a method) so it is picklable as a process-pool task.
+    """
+    store = _profile_store_for(spec.config.space)
+    result = run_experiment(
+        spec.build_policy(), spec.setting, config=spec.config, profile_store=store
+    )
+    if spec.summary_only:
+        return RunResult(
+            policy_name=result.policy_name,
+            setting=result.setting,
+            summary=result.summary,
+            metrics=MetricsCollector(
+                policy_name=result.policy_name, setting_name=result.setting.name
+            ),
+            requests=[],
+        )
+    return result
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise a job count: ``None`` or ``<= 0`` means one per CPU core."""
+    if n_jobs is None or n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ExperimentEngine:
+    """Executes batches of :class:`RunSpec`, optionally across processes.
+
+    ``n_jobs=1`` (the default) runs every spec in the calling process —
+    identical code path, fully debuggable.  ``n_jobs>1`` fans specs out to a
+    :class:`ProcessPoolExecutor`; ``None`` or ``0`` uses one worker per CPU
+    core.  Because every run is seed-deterministic, the returned results are
+    identical to the sequential ones, in spec order.
+    """
+
+    def __init__(self, n_jobs: int | None = 1, *, mp_context: str | None = None) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._mp_context = mp_context
+
+    def run(self, specs: Iterable[RunSpec]) -> list[RunResult]:
+        """Execute ``specs`` and return their results in spec order."""
+        spec_list = list(specs)
+        if not spec_list:
+            return []
+        if self.n_jobs == 1:
+            return [execute_spec(spec) for spec in spec_list]
+        mp_context = None
+        if self._mp_context is not None:
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(self._mp_context)
+        workers = min(self.n_jobs, len(spec_list))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
+            return list(pool.map(execute_spec, spec_list))
+
+    def run_keyed(self, specs: Iterable[RunSpec]) -> dict[tuple[str, str], RunResult]:
+        """Execute ``specs``; key results by ``(setting_name, policy_name)``.
+
+        The policy name is the *reported* one (``result.policy_name``), so
+        overrides that rename a policy — e.g. ablation variants — key
+        distinct cells.
+        """
+        spec_list = list(specs)
+        results = self.run(spec_list)
+        return {
+            (spec.setting_name, result.policy_name): result
+            for spec, result in zip(spec_list, results)
+        }

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_percent, format_table
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 from repro.workloads.generator import WORKLOAD_SETTINGS
 
 __all__ = ["MissRateRow", "run_table4", "render_table4"]
@@ -41,22 +42,25 @@ def run_table4(
     settings: Iterable[str] = tuple(WORKLOAD_SETTINGS),
     *,
     config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> list[MissRateRow]:
     """Measure the configuration miss rate of the static planners."""
     config = config or ExperimentConfig()
-    rows: list[MissRateRow] = []
-    for setting in settings:
-        for policy in policies:
-            result = run_experiment(policy, setting, config=config)
-            rows.append(
-                MissRateRow(
-                    setting=setting,
-                    policy=policy,
-                    plan_attempts=result.summary.plan_attempts,
-                    plan_misses=result.summary.plan_misses,
-                )
-            )
-    return rows
+    specs = [
+        RunSpec(policy=policy, setting=setting, config=config, summary_only=True)
+        for setting in settings
+        for policy in policies
+    ]
+    results = ExperimentEngine(n_jobs).run(specs)
+    return [
+        MissRateRow(
+            setting=spec.setting_name,
+            policy=spec.policy,
+            plan_attempts=result.summary.plan_attempts,
+            plan_misses=result.summary.plan_misses,
+        )
+        for spec, result in zip(specs, results)
+    ]
 
 
 def render_table4(rows: list[MissRateRow]) -> str:

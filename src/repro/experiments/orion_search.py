@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.baselines.orion import OrionPolicy
+from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_percent, format_table
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 
 __all__ = ["OrionSearchPoint", "run_figure9", "render_figure9", "DEFAULT_CUTOFFS_MS"]
 
@@ -38,24 +38,36 @@ def run_figure9(
     *,
     setting: str = "strict-light",
     config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> list[OrionSearchPoint]:
     """Sweep Orion's search cutoff with and without charging the overhead."""
     config = config or ExperimentConfig()
-    points: list[OrionSearchPoint] = []
-    for count_overhead in (False, True):
-        for cutoff in cutoffs_ms:
-            policy = OrionPolicy(cutoff_ms=cutoff, count_search_overhead=count_overhead)
-            result = run_experiment(policy, setting, config=config)
-            points.append(
-                OrionSearchPoint(
-                    cutoff_ms=cutoff,
-                    count_search_overhead=count_overhead,
-                    slo_hit_rate=result.summary.slo_hit_rate,
-                    total_cost_cents=result.summary.total_cost_cents,
-                    mean_overhead_ms=result.summary.mean_overhead_ms,
-                )
-            )
-    return points
+    sweep = [
+        (cutoff, count_overhead)
+        for count_overhead in (False, True)
+        for cutoff in cutoffs_ms
+    ]
+    specs = [
+        RunSpec(
+            policy="Orion",
+            setting=setting,
+            config=config,
+            policy_overrides={"cutoff_ms": cutoff, "count_search_overhead": count_overhead},
+            summary_only=True,
+        )
+        for cutoff, count_overhead in sweep
+    ]
+    results = ExperimentEngine(n_jobs).run(specs)
+    return [
+        OrionSearchPoint(
+            cutoff_ms=cutoff,
+            count_search_overhead=count_overhead,
+            slo_hit_rate=result.summary.slo_hit_rate,
+            total_cost_cents=result.summary.total_cost_cents,
+            mean_overhead_ms=result.summary.mean_overhead_ms,
+        )
+        for (cutoff, count_overhead), result in zip(sweep, results)
+    ]
 
 
 def render_figure9(points: list[OrionSearchPoint]) -> str:

@@ -13,8 +13,9 @@ from typing import Iterable
 
 from repro.core.bruteforce import brute_force_search
 from repro.core.esg_1q import StageSearchSpec, esg_1q_search
+from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig, build_profile_store, run_experiment
+from repro.experiments.runner import ExperimentConfig, build_profile_store
 from repro.profiles.configuration import ConfigurationSpace
 from repro.utils.stats import SummaryStats, summarize
 from repro.workloads.applications import expanded_image_classification
@@ -53,18 +54,27 @@ def run_figure10(
     *,
     config: ExperimentConfig | None = None,
     group_size: int = 3,
+    n_jobs: int | None = 1,
 ) -> list[OverheadDistribution]:
     """Measure ESG's scheduling overhead distribution per setting."""
-    from repro.core.esg import ESGPolicy
-
     config = config or ExperimentConfig()
-    out: list[OverheadDistribution] = []
-    for setting in settings:
-        policy = ESGPolicy(group_size=group_size)
-        result = run_experiment(policy, setting, config=config)
-        samples = result.metrics.overhead_ms_samples
-        out.append(OverheadDistribution(setting=setting, stats=summarize(samples)))
-    return out
+    specs = [
+        RunSpec(
+            policy="ESG",
+            setting=setting,
+            config=config,
+            policy_overrides={"group_size": group_size},
+        )
+        for setting in settings
+    ]
+    results = ExperimentEngine(n_jobs).run(specs)
+    return [
+        OverheadDistribution(
+            setting=spec.setting_name,
+            stats=summarize(result.metrics.overhead_ms_samples),
+        )
+        for spec, result in zip(specs, results)
+    ]
 
 
 def render_figure10(distributions: list[OverheadDistribution]) -> str:

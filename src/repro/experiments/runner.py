@@ -134,8 +134,13 @@ def build_requests(
     return generator.generate(num_requests)
 
 
-def make_policy(name: str, **overrides) -> SchedulingPolicy:
-    """Instantiate a policy by its paper name (case-insensitive)."""
+def make_policy(name: str, /, **overrides) -> SchedulingPolicy:
+    """Instantiate a policy by its paper name (case-insensitive).
+
+    The lookup name is positional-only so that a ``name=...`` override (the
+    constructors' display-name parameter, used by the ablation variants) can
+    be forwarded alongside it.
+    """
     key = name.strip().lower().replace("_", "-")
     if key in ("esg",):
         return ESGPolicy(**overrides)
@@ -220,6 +225,7 @@ def run_matrix(
     settings: Iterable[WorkloadSetting | str] = tuple(WORKLOAD_SETTINGS),
     *,
     config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> dict[tuple[str, str], RunResult]:
     """Run every (setting, policy) pair on identical workloads.
 
@@ -227,27 +233,45 @@ def run_matrix(
     regenerated per policy from the same seed (each request object carries
     mutable runtime state, so they cannot be shared across runs) — the
     arrival times and application picks are identical.
+
+    ``n_jobs`` controls parallelism: 1 (default) runs in-process; larger
+    values fan the independent cells out across worker processes (``None``
+    or 0 uses every core).  Summaries are identical either way because each
+    run is fully determined by its seed.  Parallel execution requires
+    policies given as *names* — live policy objects cannot be rebuilt in a
+    worker; use :class:`repro.experiments.engine.RunSpec` overrides instead.
     """
+    # Imported here because engine builds on this module's primitives.
+    from repro.experiments.engine import ExperimentEngine, RunSpec, resolve_n_jobs
+
     config = config or ExperimentConfig()
+    policy_list = list(policies)
+    setting_objs = [
+        WORKLOAD_SETTINGS[s] if isinstance(s, str) else s for s in settings
+    ]
+    if all(isinstance(p, str) for p in policy_list):
+        specs = [
+            RunSpec(policy=policy, setting=setting, config=config)
+            for setting in setting_objs
+            for policy in policy_list
+        ]
+        return ExperimentEngine(n_jobs).run_keyed(specs)
+
+    if resolve_n_jobs(n_jobs) != 1:
+        raise ValueError(
+            "run_matrix with n_jobs != 1 requires policy names (strings); "
+            "live policy objects cannot be shipped to worker processes"
+        )
     profile_store = build_profile_store(config.space)
     results: dict[tuple[str, str], RunResult] = {}
-    for setting in settings:
-        setting_obj = WORKLOAD_SETTINGS[setting] if isinstance(setting, str) else setting
-        for policy in policies:
+    for setting_obj in setting_objs:
+        for policy in policy_list:
             policy_obj = make_policy(policy) if isinstance(policy, str) else policy
-            requests = build_requests(
-                setting_obj,
-                config.num_requests,
-                config.seed,
-                profile_store,
-                burstiness=config.burstiness,
-            )
             result = run_experiment(
                 policy_obj,
                 setting_obj,
                 config=config,
                 profile_store=profile_store,
-                requests=requests,
             )
             results[(setting_obj.name, policy_obj.name)] = result
     return results

@@ -16,10 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.esg import ESGPolicy
 from repro.core.esg_1q import StageSearchSpec, esg_1q_search
+from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_percent, format_table
-from repro.experiments.runner import ExperimentConfig, build_profile_store, run_experiment
+from repro.experiments.runner import ExperimentConfig, build_profile_store
 from repro.profiles.configuration import ConfigurationSpace
 from repro.workloads.applications import expanded_image_classification
 
@@ -54,22 +54,31 @@ def run_figure11(
     *,
     setting: str = "strict-light",
     config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> list[KSensitivityPoint]:
     """Sweep the number of solutions K kept by ESG_1Q."""
     config = config or ExperimentConfig()
-    raw: list[KSensitivityPoint] = []
-    for k in k_values:
-        policy = ESGPolicy(k=k)
-        result = run_experiment(policy, setting, config=config)
-        raw.append(
-            KSensitivityPoint(
-                k=k,
-                mean_overhead_ms=result.summary.mean_overhead_ms,
-                mean_latency_ms=result.summary.mean_latency_ms,
-                total_cost_cents=result.summary.total_cost_cents,
-                slo_hit_rate=result.summary.slo_hit_rate,
-            )
+    specs = [
+        RunSpec(
+            policy="ESG",
+            setting=setting,
+            config=config,
+            policy_overrides={"k": k},
+            summary_only=True,
         )
+        for k in k_values
+    ]
+    results = ExperimentEngine(n_jobs).run(specs)
+    raw = [
+        KSensitivityPoint(
+            k=k,
+            mean_overhead_ms=result.summary.mean_overhead_ms,
+            mean_latency_ms=result.summary.mean_latency_ms,
+            total_cost_cents=result.summary.total_cost_cents,
+            slo_hit_rate=result.summary.slo_hit_rate,
+        )
+        for k, result in zip(k_values, results)
+    ]
     baseline = next((p.total_cost_cents for p in raw if p.k == 5), None)
     if baseline is None:
         baseline = raw[0].total_cost_cents if raw else float("nan")

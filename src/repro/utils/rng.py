@@ -10,11 +10,22 @@ added, removed or reordered.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = ["RngFactory", "derive_rng"]
+
+
+def _stable_label_entropy(name: str) -> int:
+    """A 32-bit integer that is a pure function of ``name``.
+
+    The builtin ``hash()`` is salted per process (PYTHONHASHSEED), which
+    would make "reproducible" streams differ between interpreter
+    invocations — and between a parent and its spawned workers.
+    """
+    return int.from_bytes(hashlib.blake2s(name.encode(), digest_size=4).digest(), "little")
 
 
 def derive_rng(seed: int, *names: str) -> np.random.Generator:
@@ -29,7 +40,7 @@ def derive_rng(seed: int, *names: str) -> np.random.Generator:
         ``derive_rng(42, "workload", "arrivals")``.
     """
     # Hash the labels into integers; SeedSequence mixes them with the seed.
-    label_entropy = [abs(hash(name)) % (2**32) for name in names]
+    label_entropy = [_stable_label_entropy(name) for name in names]
     seq = np.random.SeedSequence([seed, *label_entropy])
     return np.random.default_rng(seq)
 

@@ -1,15 +1,24 @@
-"""Tests for the event types and the event loop."""
+"""Tests for the event types, the event loop and the simulation driver."""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import pytest
 
+from repro.cluster.controller import ControllerConfig
 from repro.cluster.events import (
     Event,
     RequestArrivalEvent,
     SchedulerTickEvent,
 )
-from repro.cluster.simulator import EventLoop
+from repro.cluster.simulator import EventLoop, Simulation, SimulationConfig
+from repro.experiments.runner import (
+    EXPERIMENT_SPACE,
+    build_profile_store,
+    build_requests,
+    make_policy,
+)
 from repro.workloads.applications import image_classification
 from repro.workloads.request import Request
 
@@ -69,3 +78,202 @@ class TestEventLoop:
         assert loop.peek_time() == 42.0
         with pytest.raises(IndexError):
             EventLoop().peek_time()
+
+    def test_peek_does_not_consume(self):
+        loop = EventLoop()
+        loop.push(SchedulerTickEvent(time_ms=7.0))
+        assert loop.peek_time() == 7.0
+        assert len(loop) == 1
+        assert loop.pop().time_ms == 7.0
+
+
+class TestEventLoopDeterminism:
+    """The event loop must be a deterministic total order: time, then FIFO."""
+
+    def test_fifo_preserved_among_many_equal_times(self):
+        loop = EventLoop()
+        events = [RequestArrivalEvent(time_ms=5.0, request=make_request(5.0)) for _ in range(10)]
+        for event in events:
+            loop.push(event)
+        assert [loop.pop() for _ in range(10)] == events
+
+    def test_heap_order_under_interleaved_pushes_and_pops(self):
+        loop = EventLoop()
+        loop.push(SchedulerTickEvent(time_ms=30.0))
+        loop.push(SchedulerTickEvent(time_ms=10.0))
+        assert loop.pop().time_ms == 10.0
+        loop.push(SchedulerTickEvent(time_ms=5.0))
+        loop.push(SchedulerTickEvent(time_ms=20.0))
+        assert loop.pop().time_ms == 5.0
+        loop.push(SchedulerTickEvent(time_ms=15.0))
+        assert [loop.pop().time_ms for _ in range(3)] == [15.0, 20.0, 30.0]
+
+    def test_ties_stay_fifo_across_interleaved_pops(self):
+        loop = EventLoop()
+        first = SchedulerTickEvent(time_ms=5.0)
+        second = SchedulerTickEvent(time_ms=5.0)
+        loop.push(first)
+        loop.push(SchedulerTickEvent(time_ms=1.0))
+        loop.push(second)
+        assert loop.pop().time_ms == 1.0
+        third = SchedulerTickEvent(time_ms=5.0)
+        loop.push(third)
+        assert loop.pop() is first
+        assert loop.pop() is second
+        assert loop.pop() is third
+
+    def test_two_identically_fed_loops_drain_identically(self):
+        feed = [30.0, 10.0, 10.0, 20.0, 10.0, 30.0]
+        drains = []
+        for _ in range(2):
+            loop = EventLoop()
+            events = [SchedulerTickEvent(time_ms=t) for t in feed]
+            for event in events:
+                loop.push(event)
+            drains.append([loop.pop() for _ in range(len(events))])
+        assert drains[0] == drains[1]
+        assert [e.time_ms for e in drains[0]] == sorted(feed)
+
+
+# ----------------------------------------------------------------------
+# Simulation driver: dispatch, hooks and the horizon
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sim_store():
+    return build_profile_store(EXPERIMENT_SPACE)
+
+
+def make_simulation(sim_store, **config_kwargs) -> Simulation:
+    requests = build_requests("moderate-normal", 6, 3, sim_store)
+    config = SimulationConfig(
+        seed=3, controller=ControllerConfig(initial_warm="all"), **config_kwargs
+    )
+    return Simulation(
+        policy=make_policy("ESG"),
+        requests=requests,
+        profile_store=sim_store,
+        config=config,
+        setting_name="moderate-normal",
+    )
+
+
+class TestHorizonTruncation:
+    def test_untruncated_run_drains_all_events(self, sim_store):
+        simulation = make_simulation(sim_store)
+        summary = simulation.run()
+        assert not summary.truncated
+        assert not simulation.truncated
+        assert simulation.events.empty
+        assert summary.num_completed == summary.num_requests
+
+    def test_horizon_stops_the_clock_and_keeps_the_crossing_event(self, sim_store):
+        full = make_simulation(sim_store).run()
+        horizon_ms = full.mean_latency_ms  # well inside the busy part of the run
+        simulation = make_simulation(sim_store, max_time_ms=horizon_ms)
+        hook_calls: list[float] = []
+        simulation.on_horizon_reached(lambda sim: hook_calls.append(sim.now_ms))
+        summary = simulation.run()
+
+        assert summary.truncated
+        assert simulation.truncated
+        # The clock never advances past the horizon ...
+        assert simulation.now_ms <= horizon_ms
+        # ... and the event that crosses it stays queued instead of being lost.
+        assert not simulation.events.empty
+        assert simulation.events.peek_time() > horizon_ms
+        assert summary.num_completed < summary.num_requests
+        assert hook_calls == [simulation.now_ms]
+
+    def test_max_events_cap_marks_truncated(self, sim_store):
+        simulation = make_simulation(sim_store, max_events=3)
+        summary = simulation.run()
+        assert summary.truncated
+        assert simulation.processed_events == 3
+
+
+class TestSimulationHooks:
+    def test_event_and_progress_hooks_fire(self, sim_store):
+        simulation = make_simulation(sim_store)
+        seen_events: list[Event] = []
+        progress_ticks: list[int] = []
+        simulation.on_event(lambda sim, event: seen_events.append(event))
+        simulation.on_progress(
+            lambda sim: progress_ticks.append(sim.processed_events), every_events=10
+        )
+        summary = simulation.run()
+        assert len(seen_events) == simulation.processed_events
+        assert isinstance(seen_events[0], RequestArrivalEvent)
+        assert progress_ticks == list(range(10, simulation.processed_events + 1, 10))
+        assert not summary.truncated
+
+    def test_progress_hook_rejects_nonpositive_interval(self, sim_store):
+        simulation = make_simulation(sim_store)
+        with pytest.raises(ValueError):
+            simulation.on_progress(lambda sim: None, every_events=0)
+
+
+@dataclass(frozen=True)
+class ProbeEvent(Event):
+    """A custom event type exercising the open dispatch path."""
+
+    def apply(self, simulation: Simulation) -> None:
+        simulation.probe_applied = True  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class OpaqueEvent(Event):
+    """A custom event with no apply() and no registered handler."""
+
+
+class TestEventDispatch:
+    def test_unknown_event_type_dispatches_via_apply(self, sim_store):
+        simulation = make_simulation(sim_store)
+        simulation.probe_applied = False
+        simulation.events.push(ProbeEvent(time_ms=0.0))
+        simulation.run()
+        assert simulation.probe_applied
+
+    def test_registered_handler_shadows_apply(self, sim_store):
+        calls: list[float] = []
+        Simulation.register_handler(ProbeEvent, lambda sim, event: calls.append(event.time_ms))
+        try:
+            simulation = make_simulation(sim_store)
+            simulation.probe_applied = False
+            simulation.events.push(ProbeEvent(time_ms=0.0))
+            simulation.run()
+            assert calls == [0.0]
+            assert not simulation.probe_applied
+        finally:
+            del Simulation._handlers[ProbeEvent]
+
+    def test_event_without_apply_or_handler_raises(self, sim_store):
+        simulation = make_simulation(sim_store)
+        simulation.events.push(OpaqueEvent(time_ms=0.0))
+        with pytest.raises(NotImplementedError):
+            simulation.run()
+
+    def test_register_handler_rejects_non_event_types(self):
+        with pytest.raises(TypeError):
+            Simulation.register_handler(int, lambda sim, event: None)
+
+    def test_instance_handler_scoped_to_one_simulation(self, sim_store):
+        calls: list[float] = []
+        instrumented = make_simulation(sim_store)
+        instrumented.add_handler(ProbeEvent, lambda sim, event: calls.append(event.time_ms))
+        instrumented.events.push(ProbeEvent(time_ms=0.0))
+        instrumented.probe_applied = False
+        instrumented.run()
+        assert calls == [0.0]
+        assert not instrumented.probe_applied  # instance handler shadowed apply()
+
+        # A sibling simulation is unaffected: ProbeEvent falls back to apply().
+        plain = make_simulation(sim_store)
+        plain.probe_applied = False
+        plain.events.push(ProbeEvent(time_ms=0.0))
+        plain.run()
+        assert plain.probe_applied
+        assert calls == [0.0]
+
+    def test_add_handler_rejects_non_event_types(self, sim_store):
+        with pytest.raises(TypeError):
+            make_simulation(sim_store).add_handler(int, lambda sim, event: None)

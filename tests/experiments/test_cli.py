@@ -19,6 +19,10 @@ class TestParser:
         assert args.requests == 30
         assert args.seed == 9
 
+    def test_jobs_option_parses_and_defaults_to_sequential(self):
+        assert build_parser().parse_args(["fig6"]).jobs == 1
+        assert build_parser().parse_args(["fig6", "--jobs", "4"]).jobs == 4
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])

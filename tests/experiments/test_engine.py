@@ -1,0 +1,137 @@
+"""Tests for the parallel experiment engine (RunSpec / ExperimentEngine)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.esg import ESGPolicy
+from repro.experiments.engine import (
+    ExperimentEngine,
+    RunSpec,
+    execute_spec,
+    resolve_n_jobs,
+)
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    run_experiment,
+    run_matrix,
+)
+from repro.workloads.generator import WORKLOAD_SETTINGS
+
+SMALL = ExperimentConfig(num_requests=6, seed=11)
+
+
+class TestRunSpec:
+    def test_round_trips_through_pickle(self):
+        spec = RunSpec(
+            policy="ESG",
+            setting="strict-light",
+            config=SMALL,
+            policy_overrides={"k": 7, "group_size": 2},
+            label="esg-k7",
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.policy_overrides == {"k": 7, "group_size": 2}
+
+    def test_build_policy_applies_overrides(self):
+        spec = RunSpec(policy="ESG", setting="strict-light", policy_overrides={"k": 9})
+        policy = spec.build_policy()
+        assert isinstance(policy, ESGPolicy)
+        assert policy.k == 9
+
+    def test_rejects_live_policy_objects(self):
+        with pytest.raises(TypeError, match="policy name"):
+            RunSpec(policy=ESGPolicy(), setting="strict-light")
+
+    def test_rejects_unknown_setting_names(self):
+        with pytest.raises(KeyError, match="unknown workload setting"):
+            RunSpec(policy="ESG", setting="no-such-setting")
+
+    def test_accepts_setting_objects(self):
+        setting = WORKLOAD_SETTINGS["relaxed-heavy"]
+        spec = RunSpec(policy="ESG", setting=setting, config=SMALL)
+        assert spec.setting_name == "relaxed-heavy"
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestExecuteSpec:
+    def test_matches_run_experiment(self):
+        spec = RunSpec(policy="INFless", setting="moderate-normal", config=SMALL)
+        direct = run_experiment("INFless", "moderate-normal", config=SMALL)
+        via_spec = execute_spec(spec)
+        assert via_spec.summary == direct.summary
+
+
+class TestResolveNJobs:
+    def test_positive_passes_through(self):
+        assert resolve_n_jobs(3) == 3
+
+    @pytest.mark.parametrize("value", [None, 0, -1])
+    def test_none_and_nonpositive_mean_all_cores(self, value):
+        assert resolve_n_jobs(value) == (os.cpu_count() or 1)
+
+
+class TestExperimentEngine:
+    def test_empty_spec_list(self):
+        assert ExperimentEngine(n_jobs=2).run([]) == []
+
+    def test_results_come_back_in_spec_order(self):
+        specs = [
+            RunSpec(policy=policy, setting="strict-light", config=SMALL)
+            for policy in ("INFless", "ESG", "FaST-GShare")
+        ]
+        results = ExperimentEngine(n_jobs=2).run(specs)
+        assert [r.policy_name for r in results] == ["INFless", "ESG", "FaST-GShare"]
+
+    def test_run_keyed_uses_reported_policy_name(self):
+        specs = [
+            RunSpec(
+                policy="ESG",
+                setting="strict-light",
+                config=SMALL,
+                policy_overrides={"batching": False, "name": "ESG w/o batching"},
+            )
+        ]
+        keyed = ExperimentEngine(n_jobs=1).run_keyed(specs)
+        assert set(keyed) == {("strict-light", "ESG w/o batching")}
+
+
+class TestParallelParity:
+    def test_full_matrix_parallel_summaries_identical_to_sequential(self):
+        """The acceptance check: n_jobs=4 reproduces n_jobs=1 byte-for-byte."""
+        sequential = run_matrix(
+            DEFAULT_POLICIES, tuple(WORKLOAD_SETTINGS), config=SMALL, n_jobs=1
+        )
+        parallel = run_matrix(
+            DEFAULT_POLICIES, tuple(WORKLOAD_SETTINGS), config=SMALL, n_jobs=4
+        )
+        assert set(sequential) == set(parallel)
+        assert len(sequential) == len(DEFAULT_POLICIES) * len(WORKLOAD_SETTINGS)
+        for key in sequential:
+            assert sequential[key].summary == parallel[key].summary, key
+
+    def test_spawned_workers_reproduce_in_process_results(self):
+        """Spawn workers share nothing with the parent (no fork inheritance
+        masking hash-seed or global-state dependence), so this guards the
+        strongest form of cross-process determinism."""
+        specs = [
+            RunSpec(policy=policy, setting="strict-light", config=SMALL)
+            for policy in ("ESG", "Orion")
+        ]
+        in_process = ExperimentEngine(n_jobs=1).run(specs)
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(specs)
+        for seq, par in zip(in_process, spawned):
+            assert seq.summary == par.summary
+
+    def test_policy_objects_rejected_when_parallel(self):
+        with pytest.raises(ValueError, match="policy names"):
+            run_matrix([ESGPolicy()], ["strict-light"], config=SMALL, n_jobs=2)
+
+    def test_policy_objects_still_work_sequentially(self):
+        results = run_matrix([ESGPolicy(k=2)], ["strict-light"], config=SMALL, n_jobs=1)
+        assert set(results) == {("strict-light", "ESG")}

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 
 from repro.utils.rng import RngFactory, derive_rng
@@ -27,6 +31,31 @@ class TestDeriveRng:
         a = derive_rng(7, "a", "b").random(5)
         b = derive_rng(7, "a", "c").random(5)
         assert not np.array_equal(a, b)
+
+    def test_streams_identical_across_interpreter_invocations(self):
+        """Regression: label hashing must not depend on PYTHONHASHSEED.
+
+        The builtin ``hash()`` is salted per process; deriving entropy from
+        it made "reproducible" streams differ between interpreter
+        invocations (and between a parent and spawned pool workers).
+        """
+        script = (
+            "from repro.utils.rng import derive_rng; "
+            "print(repr(list(derive_rng(42, 'workload', 'strict-light').random(4))))"
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            outputs.append(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                ).stdout
+            )
+        assert outputs[0] == outputs[1]
 
 
 class TestRngFactory:
