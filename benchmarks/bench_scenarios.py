@@ -1,0 +1,59 @@
+"""Benchmark sweeping every policy over the named scenario registry.
+
+This is the breadth counterpart of the figure benches: instead of the
+paper's three fixed settings, every scheduler faces the whole scenario
+gallery — Poisson, MMPP-style bursts, diurnal drift, trace replay and a
+non-paper application mix — on identical per-scenario workloads.  Shape
+assertions are deliberately loose (the scenarios are new territory); the
+hard guarantees (cross-process determinism, paper-default byte-identity)
+live in the tier-1 tests.
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_BENCH_REQUESTS, run_once
+
+from repro.experiments.runner import DEFAULT_POLICIES
+from repro.experiments.scenario_sweep import (
+    render_scenario_comparison,
+    run_scenario_sweep,
+    scenario_rows,
+)
+from repro.workloads.scenarios import SCENARIOS
+
+
+def test_scenario_sweep_all_policies(benchmark, bench_config, bench_jobs):
+    scenario_names = SCENARIOS.names()
+    results = run_once(
+        benchmark,
+        run_scenario_sweep,
+        scenario_names,
+        DEFAULT_POLICIES,
+        config=bench_config,
+        n_jobs=bench_jobs,
+    )
+    rows = scenario_rows(results)
+    print()
+    print(render_scenario_comparison(rows))
+
+    # Every cell ran: full cross product, nothing silently dropped.
+    assert len(rows) == len(scenario_names) * len(DEFAULT_POLICIES)
+
+    by_scenario: dict[str, dict[str, float]] = {}
+    for cell in rows:
+        by_scenario.setdefault(cell.scenario, {})[cell.policy] = cell.slo_hit_rate
+        # Work happened in every cell.
+        assert cell.num_completed > 0, (cell.scenario, cell.policy)
+
+    # The horizon-bounded overload scenario actually truncates — given a
+    # workload big enough to outlast its 1.5 s horizon (a handful of
+    # REPRO_BENCH_REQUESTS can drain before it).
+    if bench_config.num_requests >= DEFAULT_BENCH_REQUESTS:
+        overload = [c for c in rows if c.scenario == "overload-spike"]
+        assert all(c.truncated for c in overload)
+
+    # On the paper scenarios ESG stays the competitive scheduler it is in
+    # Figure 6: within 5 points of the best hit rate.
+    for name in ("paper-strict-light", "paper-moderate-normal", "paper-relaxed-heavy"):
+        hit = by_scenario[name]
+        assert hit["ESG"] >= max(hit.values()) - 0.05, name

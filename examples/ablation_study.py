@@ -3,11 +3,12 @@
 
 Runs ESG, ESG without GPU sharing and ESG without batching on the same
 relaxed-heavy workload and prints the SLO hit rate, cost and GPU time of
-each variant.
+each variant.  The variants are independent runs, so the engine fans them
+out across worker processes (second argument).
 
 Usage::
 
-    python examples/ablation_study.py [num_requests]
+    python examples/ablation_study.py [num_requests] [n_jobs]
 """
 
 from __future__ import annotations
@@ -20,10 +21,11 @@ from repro.experiments.runner import ExperimentConfig
 
 def main() -> None:
     num_requests = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 2
     config = ExperimentConfig(num_requests=num_requests, seed=21)
 
     print(f"Running the GPU-sharing / batching ablation ({num_requests} requests, heavy load)...\n")
-    rows = run_figure12(setting="relaxed-heavy", config=config)
+    rows = run_figure12(setting="relaxed-heavy", config=config, n_jobs=n_jobs)
 
     print(f"{'variant':<22} {'SLO hit':>8} {'cost/ESG':>9} {'vGPU-seconds':>13} {'mean wait':>10}")
     for row in rows:

@@ -4,11 +4,13 @@
 This is a scaled-down version of the paper's Figure 6 experiment: every
 scheduler sees exactly the same request stream per setting, and the script
 prints the SLO hit rate, the total cost (normalised to ESG) and the
-pre-planned configuration miss rate of the static planners.
+pre-planned configuration miss rate of the static planners.  The sweep
+(15 independent runs) executes through the parallel experiment engine —
+pass a worker count as the second argument to fan it out.
 
 Usage::
 
-    python examples/compare_schedulers.py [num_requests]
+    python examples/compare_schedulers.py [num_requests] [n_jobs]
 """
 
 from __future__ import annotations
@@ -21,13 +23,14 @@ from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig
 
 def main() -> None:
     num_requests = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 2
     config = ExperimentConfig(num_requests=num_requests, seed=42)
 
     print(
         f"Running {len(DEFAULT_POLICIES)} schedulers x 3 settings "
-        f"({num_requests} requests each); this takes a few minutes...\n"
+        f"({num_requests} requests each, {n_jobs} worker processes)...\n"
     )
-    results = run_end_to_end(DEFAULT_POLICIES, config=config)
+    results = run_end_to_end(DEFAULT_POLICIES, config=config, n_jobs=n_jobs)
 
     print(f"{'setting':<18} {'policy':<12} {'SLO hit':>8} {'cost/ESG':>9} {'plan miss':>10}")
     for row in figure6_rows(results):

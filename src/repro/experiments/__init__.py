@@ -32,7 +32,14 @@ from repro.experiments.runner import (
     make_policy,
     run_experiment,
     run_matrix,
+    run_scenario_matrix,
     run_setting,
+)
+from repro.experiments.scenario_sweep import (
+    render_scenario_comparison,
+    render_scenario_list,
+    run_scenario_sweep,
+    scenario_rows,
 )
 
 __all__ = [
@@ -45,7 +52,12 @@ __all__ = [
     "build_requests",
     "execute_spec",
     "make_policy",
+    "render_scenario_comparison",
+    "render_scenario_list",
     "run_experiment",
     "run_matrix",
+    "run_scenario_matrix",
+    "run_scenario_sweep",
     "run_setting",
+    "scenario_rows",
 ]

@@ -18,6 +18,11 @@ Run the end-to-end matrix across four worker processes::
 Run everything (can take several minutes)::
 
     esg-repro all
+
+List the named scenarios and compare every policy on one of them::
+
+    esg-repro --list-scenarios
+    esg-repro compare --scenario bursty-onoff-heavy --jobs 4
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.experiments.overhead import (
     run_figure10,
 )
 from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario_sweep import compare_on_scenarios, render_scenario_list
 from repro.experiments.sensitivity import (
     render_figure11,
     render_group_size_search,
@@ -116,6 +122,13 @@ def _cmd_fig12(args: argparse.Namespace) -> str:
     return render_figure12(run_figure12(config=_config_from_args(args), n_jobs=_jobs(args)))
 
 
+def _cmd_compare(args: argparse.Namespace) -> str:
+    scenarios = args.scenario or ["paper-moderate-normal"]
+    return compare_on_scenarios(
+        scenarios, config=_config_from_args(args), n_jobs=_jobs(args)
+    )
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "tables": _cmd_tables,
     "fig5": _cmd_fig5,
@@ -126,19 +139,26 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
     "fig12": _cmd_fig12,
+    "compare": _cmd_compare,
 }
+
+#: Commands excluded from ``esg-repro all`` (they need explicit scenario
+#: intent, and ``all`` predates the scenario subsystem).
+_NOT_IN_ALL = frozenset({"compare"})
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="esg-repro",
-        description="Regenerate the tables and figures of the ESG paper (HPDC 2024).",
+        description="Regenerate the tables and figures of the ESG paper (HPDC 2024), "
+        "or compare the schedulers on named workload scenarios.",
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(_COMMANDS) + ["all"],
-        help="which artefact to regenerate",
+        help="which artefact to regenerate ('compare' sweeps policies over --scenario)",
     )
     parser.add_argument("--requests", type=int, default=120, help="requests per run (default 120)")
     parser.add_argument("--seed", type=int, default=42, help="experiment seed (default 42)")
@@ -148,6 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for simulation sweeps (default 1 = in-process, 0 = all cores)",
     )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="scenario for the 'compare' command (repeatable; see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered workload scenarios and exit",
+    )
     return parser
 
 
@@ -155,8 +186,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_scenarios:
+        print(render_scenario_list())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required (or pass --list-scenarios)")
     if args.experiment == "all":
-        outputs = [_COMMANDS[name](args) for name in sorted(_COMMANDS)]
+        outputs = [
+            _COMMANDS[name](args) for name in sorted(_COMMANDS) if name not in _NOT_IN_ALL
+        ]
         print("\n\n".join(outputs))
         return 0
     print(_COMMANDS[args.experiment](args))

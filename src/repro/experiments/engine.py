@@ -34,6 +34,7 @@ from repro.experiments.runner import (
 from repro.profiles.configuration import ConfigurationSpace
 from repro.profiles.profiler import ProfileStore
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadSetting
+from repro.workloads.scenarios import Scenario, get_scenario
 
 __all__ = ["RunSpec", "ExperimentEngine", "execute_spec", "resolve_n_jobs"]
 
@@ -45,11 +46,14 @@ class RunSpec:
     The policy is stored by *name* (plus keyword overrides for its
     constructor) rather than as an instance: policies accumulate run state,
     so shipping a fresh build recipe to each worker is both safer and
-    cheaper than pickling live objects.
+    cheaper than pickling live objects.  The workload side is either a bare
+    ``setting`` name (paper arrivals, paper applications) or a ``scenario``
+    — a registered name or a :class:`~repro.workloads.scenarios.Scenario`
+    object — exactly one of the two must be given.
     """
 
     policy: str
-    setting: str | WorkloadSetting
+    setting: str | WorkloadSetting | None = None
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     policy_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Optional bookkeeping label (e.g. an ablation variant name).
@@ -58,6 +62,13 @@ class RunSpec:
     #: ``requests``/``metrics``): sweeps that read a few summary scalars
     #: avoid shipping every request object back over worker IPC.
     summary_only: bool = False
+    #: A registered scenario name or a :class:`Scenario` object (mutually
+    #: exclusive with ``setting``).  Names are resolved against the global
+    #: registry at construction time and the resolved *object* is stored:
+    #: scenarios are picklable by design, so the spec carries the full
+    #: demand bundle to workers — spawn workers never consult their own
+    #: (possibly empty) registry, and ad-hoc unregistered scenarios work.
+    scenario: str | Scenario | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.policy, str):
@@ -65,7 +76,19 @@ class RunSpec:
                 "RunSpec.policy must be a policy name; pass constructor arguments "
                 f"via policy_overrides (got {type(self.policy).__name__})"
             )
-        if isinstance(self.setting, str) and self.setting not in WORKLOAD_SETTINGS:
+        if self.scenario is not None:
+            if self.setting is not None:
+                raise ValueError(
+                    "RunSpec takes a setting or a scenario, not both "
+                    f"(got setting={self.setting!r}, scenario={self.scenario!r})"
+                )
+            if isinstance(self.scenario, str):
+                # Resolve eagerly: a typo fails at spec construction in the
+                # parent process, and workers receive the resolved object.
+                object.__setattr__(self, "scenario", get_scenario(self.scenario))
+        elif self.setting is None:
+            raise ValueError("RunSpec needs a setting or a scenario")
+        elif isinstance(self.setting, str) and self.setting not in WORKLOAD_SETTINGS:
             raise KeyError(
                 f"unknown workload setting {self.setting!r}; "
                 f"expected one of {', '.join(WORKLOAD_SETTINGS)}"
@@ -74,7 +97,14 @@ class RunSpec:
     @property
     def setting_name(self) -> str:
         """Name of the workload setting this spec runs under."""
+        if self.scenario is not None:
+            return self.scenario.setting
         return self.setting if isinstance(self.setting, str) else self.setting.name
+
+    @property
+    def workload_name(self) -> str:
+        """The scenario name when one is set, else the setting name."""
+        return self.scenario.name if self.scenario is not None else self.setting_name
 
     def build_policy(self) -> SchedulingPolicy:
         """Instantiate a fresh policy from the stored name and overrides."""
@@ -104,7 +134,11 @@ def execute_spec(spec: RunSpec) -> RunResult:
     """
     store = _profile_store_for(spec.config.space)
     result = run_experiment(
-        spec.build_policy(), spec.setting, config=spec.config, profile_store=store
+        spec.build_policy(),
+        spec.setting,
+        config=spec.config,
+        profile_store=store,
+        scenario=spec.scenario,
     )
     if spec.summary_only:
         return RunResult(
@@ -115,6 +149,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
                 policy_name=result.policy_name, setting_name=result.setting.name
             ),
             requests=[],
+            scenario_name=result.scenario_name,
         )
     return result
 
@@ -160,15 +195,16 @@ class ExperimentEngine:
             return list(pool.map(execute_spec, spec_list))
 
     def run_keyed(self, specs: Iterable[RunSpec]) -> dict[tuple[str, str], RunResult]:
-        """Execute ``specs``; key results by ``(setting_name, policy_name)``.
+        """Execute ``specs``; key results by ``(workload_name, policy_name)``.
 
-        The policy name is the *reported* one (``result.policy_name``), so
-        overrides that rename a policy — e.g. ablation variants — key
-        distinct cells.
+        The workload name is the scenario name for scenario specs and the
+        setting name otherwise; the policy name is the *reported* one
+        (``result.policy_name``), so overrides that rename a policy — e.g.
+        ablation variants — key distinct cells.
         """
         spec_list = list(specs)
         results = self.run(spec_list)
         return {
-            (spec.setting_name, result.policy_name): result
+            (spec.workload_name, result.policy_name): result
             for spec, result in zip(spec_list, results)
         }

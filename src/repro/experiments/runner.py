@@ -28,6 +28,7 @@ from repro.utils.rng import derive_rng
 from repro.workloads.applications import build_paper_applications
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadGenerator, WorkloadSetting
 from repro.workloads.request import Request
+from repro.workloads.scenarios import Scenario, get_scenario
 
 __all__ = [
     "DEFAULT_POLICIES",
@@ -39,6 +40,7 @@ __all__ = [
     "make_policy",
     "run_experiment",
     "run_matrix",
+    "run_scenario_matrix",
     "run_setting",
 ]
 
@@ -73,6 +75,9 @@ class ExperimentConfig:
         default_factory=lambda: ControllerConfig(initial_warm="all")
     )
     burstiness: float = 0.0
+    #: Simulated-time hard stop; inf (default) = run until the event queue
+    #: drains.  A scenario's ``horizon_ms`` applies when this is left at inf.
+    max_time_ms: float = float("inf")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -88,6 +93,8 @@ class RunResult:
     summary: RunSummary
     metrics: MetricsCollector
     requests: list[Request]
+    #: Name of the scenario the run was built from, when one was used.
+    scenario_name: str | None = None
 
     @property
     def slo_hit_rate(self) -> float:
@@ -162,24 +169,59 @@ def make_policy(name: str, /, **overrides) -> SchedulingPolicy:
 # ----------------------------------------------------------------------
 def run_experiment(
     policy: SchedulingPolicy | str,
-    setting: WorkloadSetting | str,
+    setting: WorkloadSetting | str | None = None,
     *,
     config: ExperimentConfig | None = None,
     profile_store: ProfileStore | None = None,
     requests: Sequence[Request] | None = None,
+    scenario: Scenario | str | None = None,
 ) -> RunResult:
-    """Run one policy under one workload setting and return the full result."""
+    """Run one policy under one workload setting and return the full result.
+
+    ``scenario`` (a name or a :class:`~repro.workloads.scenarios.Scenario`)
+    replaces the ``setting`` argument with a complete demand bundle:
+    applications x setting x arrival process x horizon.  A paper-default
+    scenario (``paper-<setting>``) produces byte-identical results to
+    passing the bare setting.
+    """
     config = config or ExperimentConfig()
+    if scenario is not None:
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if setting is not None:
+            given = setting if isinstance(setting, str) else setting.name
+            if given != scenario.setting:
+                raise ValueError(
+                    f"setting {given!r} conflicts with scenario "
+                    f"{scenario.name!r} (setting {scenario.setting!r}); "
+                    f"pass only one of the two"
+                )
+        setting = scenario.setting_obj
+    elif setting is None:
+        raise TypeError("run_experiment needs a setting or a scenario")
     if isinstance(setting, str):
         setting = WORKLOAD_SETTINGS[setting]
     if isinstance(policy, str):
         policy = make_policy(policy)
     if profile_store is None:
         profile_store = build_profile_store(config.space)
+    max_time_ms = config.max_time_ms
+    if scenario is not None and scenario.horizon_ms is not None and max_time_ms == float("inf"):
+        max_time_ms = scenario.horizon_ms
     if requests is None:
-        requests = build_requests(
-            setting, config.num_requests, config.seed, profile_store, burstiness=config.burstiness
-        )
+        if scenario is not None:
+            num_requests = scenario.num_requests or config.num_requests
+            requests = scenario.build_requests(
+                num_requests, config.seed, profile_store, burstiness=config.burstiness
+            )
+        else:
+            requests = build_requests(
+                setting,
+                config.num_requests,
+                config.seed,
+                profile_store,
+                burstiness=config.burstiness,
+            )
     else:
         requests = list(requests)
 
@@ -192,6 +234,7 @@ def run_experiment(
             cluster=config.cluster,
             controller=config.controller,
             noise_sigma=config.noise_sigma,
+            max_time_ms=max_time_ms,
         ),
         setting_name=setting.name,
     )
@@ -202,6 +245,7 @@ def run_experiment(
         summary=summary,
         metrics=simulation.metrics,
         requests=list(requests),
+        scenario_name=scenario.name if scenario is not None else None,
     )
 
 
@@ -275,6 +319,42 @@ def run_matrix(
             )
             results[(setting_obj.name, policy_obj.name)] = result
     return results
+
+
+def run_scenario_matrix(
+    scenarios: Iterable[Scenario | str],
+    policies: Iterable[str] = DEFAULT_POLICIES,
+    *,
+    config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
+    summary_only: bool = False,
+) -> dict[tuple[str, str], RunResult]:
+    """Run every (scenario, policy) pair; key results by those names.
+
+    The scenario axis generalises :func:`run_matrix`'s setting axis: each
+    cell's workload is the scenario's full demand bundle (applications x
+    setting x arrival process x horizon), identical for every policy in the
+    row.  Scenarios may be registered names or ad-hoc (even unregistered)
+    :class:`~repro.workloads.scenarios.Scenario` objects; either way the
+    resolved object travels inside the spec, so worker processes never
+    depend on registry state.  Parallelism and determinism follow the
+    engine's rules — results are byte-identical for any ``n_jobs``.
+    """
+    from repro.experiments.engine import ExperimentEngine, RunSpec
+
+    config = config or ExperimentConfig()
+    scenario_list = list(scenarios)
+    policy_list = list(policies)
+    if not all(isinstance(p, str) for p in policy_list):
+        raise ValueError("run_scenario_matrix requires policy names (strings)")
+    specs = [
+        RunSpec(
+            policy=policy, scenario=scenario, config=config, summary_only=summary_only
+        )
+        for scenario in scenario_list
+        for policy in policy_list
+    ]
+    return ExperimentEngine(n_jobs).run_keyed(specs)
 
 
 # Mapping helpers used by several figure modules -------------------------------

@@ -1,18 +1,42 @@
-"""Application workflows (DAGs) and workload generation.
+"""Application workflows (DAGs), arrival processes and workload scenarios.
 
-This subpackage models the demand side of the evaluation: the four DNN
-applications of Section 4.1 and the arrival-interval generator derived from
-the Azure traces (Figure 5), under the three workload settings
-(strict-light, moderate-normal, relaxed-heavy).
+This subpackage models the demand side of the evaluation: the DNN
+applications (the paper's four plus an open registry of extra DAGs), a
+pluggable hierarchy of arrival processes (the paper's Azure-interval
+sampling, Poisson, MMPP-style on/off bursts, diurnal drift, CSV trace
+replay), the three paper workload settings (strict-light, moderate-normal,
+relaxed-heavy) and a registry of named scenarios bundling all of the above.
+
+Examples
+--------
+>>> from repro.workloads import get_scenario, scenario_names
+>>> "paper-moderate-normal" in scenario_names()
+True
+>>> get_scenario("poisson-normal").arrival_label
+'PoissonProcess'
 """
 
 from repro.workloads.applications import (
+    APPLICATION_BUILDERS,
     PAPER_APPLICATIONS,
     background_elimination,
+    build_application,
     build_paper_applications,
     depth_recognition,
     expanded_image_classification,
     image_classification,
+    register_application,
+    single_stage_classification,
+    vision_diamond,
+)
+from repro.workloads.arrival import (
+    ArrivalProcess,
+    AzureIntervalProcess,
+    DiurnalProcess,
+    OnOffBurstProcess,
+    PoissonProcess,
+    TraceExhaustedError,
+    TraceReplayProcess,
 )
 from repro.workloads.dag import Stage, Workflow
 from repro.workloads.generator import (
@@ -24,6 +48,14 @@ from repro.workloads.generator import (
     WorkloadSetting,
 )
 from repro.workloads.request import Job, Request
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRegistry,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.workloads.traces import ArrivalIntervalRange, generate_arrival_times, generate_intervals
 
 __all__ = [
@@ -33,14 +65,32 @@ __all__ = [
     "depth_recognition",
     "background_elimination",
     "expanded_image_classification",
+    "vision_diamond",
+    "single_stage_classification",
     "build_paper_applications",
+    "build_application",
+    "register_application",
     "PAPER_APPLICATIONS",
+    "APPLICATION_BUILDERS",
+    "ArrivalProcess",
+    "AzureIntervalProcess",
+    "PoissonProcess",
+    "OnOffBurstProcess",
+    "DiurnalProcess",
+    "TraceReplayProcess",
+    "TraceExhaustedError",
     "WorkloadSetting",
     "WorkloadGenerator",
     "STRICT_LIGHT",
     "MODERATE_NORMAL",
     "RELAXED_HEAVY",
     "WORKLOAD_SETTINGS",
+    "Scenario",
+    "ScenarioRegistry",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
     "Request",
     "Job",
     "ArrivalIntervalRange",

@@ -1,4 +1,6 @@
-"""The four DNN applications used in the paper's evaluation (Section 4.1).
+"""DNN applications: the paper's four evaluation DAGs plus an open registry.
+
+The paper evaluates four fixed applications (Section 4.1):
 
 * **Image classification** — super-resolution -> segmentation -> classification.
 * **Depth recognition** — deblur -> super-resolution -> depth recognition.
@@ -6,9 +8,24 @@
 * **Expanded image classification** — deblur -> super-resolution ->
   background removal -> segmentation -> classification (the long pipeline
   that suffers most under resource-hungry schedulers, Figure 7(d)).
+
+Beyond those, :data:`APPLICATION_BUILDERS` is an open name -> builder
+registry that scenarios reference applications through, so non-paper mixes
+(see :func:`vision_diamond`, :func:`single_stage_classification`) and
+user-defined DAGs travel by *name* inside picklable run specs.
+
+Examples
+--------
+>>> build_application("image_classification").num_stages
+3
+>>> wf = vision_diamond()
+>>> sorted(s.stage_id for s in wf.stages())
+['caption', 'fuse', 'preprocess', 'segment']
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.workloads.dag import Workflow
 
@@ -17,8 +34,13 @@ __all__ = [
     "depth_recognition",
     "background_elimination",
     "expanded_image_classification",
+    "vision_diamond",
+    "single_stage_classification",
     "build_paper_applications",
+    "build_application",
+    "register_application",
     "PAPER_APPLICATIONS",
+    "APPLICATION_BUILDERS",
 ]
 
 
@@ -60,6 +82,31 @@ def expanded_image_classification() -> Workflow:
     )
 
 
+def vision_diamond() -> Workflow:
+    """A non-paper split/join DAG built from the Table 3 functions.
+
+    Super-resolution fans out to a segmentation branch and a captioning
+    branch (classification) that join in a fusing deblur stage — exercising
+    the dominator-based SLO distribution on a non-linear DAG.
+    """
+    wf = Workflow("vision_diamond")
+    wf.add_stage("preprocess", "super_resolution")
+    wf.add_stage("segment", "segmentation")
+    wf.add_stage("caption", "classification")
+    wf.add_stage("fuse", "deblur")
+    wf.add_edge("preprocess", "segment")
+    wf.add_edge("preprocess", "caption")
+    wf.add_edge("segment", "fuse")
+    wf.add_edge("caption", "fuse")
+    wf.validate()
+    return wf
+
+
+def single_stage_classification() -> Workflow:
+    """The degenerate one-stage application (no inter-function edges at all)."""
+    return Workflow.linear("single_stage_classification", ["classification"])
+
+
 def build_paper_applications() -> list[Workflow]:
     """Fresh instances of all four paper applications (evaluation order)."""
     return [
@@ -77,3 +124,40 @@ PAPER_APPLICATIONS = {
     "background_elimination": background_elimination,
     "expanded_image_classification": expanded_image_classification,
 }
+
+#: Open registry of every known application builder (paper + extensions).
+#: Scenarios reference applications through this table so that a run spec
+#: can name them as plain picklable strings.
+APPLICATION_BUILDERS: dict[str, Callable[[], Workflow]] = {
+    **PAPER_APPLICATIONS,
+    "vision_diamond": vision_diamond,
+    "single_stage_classification": single_stage_classification,
+}
+
+
+def register_application(
+    name: str, builder: Callable[[], Workflow], *, replace: bool = False
+) -> None:
+    """Add a builder to :data:`APPLICATION_BUILDERS` so scenarios can name it.
+
+    The builder must return a *fresh* :class:`Workflow` on every call
+    (workflows are cheap; requests carry mutable runtime state).
+    """
+    if not name:
+        raise ValueError("application name must be non-empty")
+    if name in APPLICATION_BUILDERS and not replace:
+        raise ValueError(
+            f"application {name!r} is already registered; pass replace=True to override"
+        )
+    APPLICATION_BUILDERS[name] = builder
+
+
+def build_application(name: str) -> Workflow:
+    """Instantiate a registered application by name."""
+    try:
+        return APPLICATION_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; registered: "
+            f"{', '.join(sorted(APPLICATION_BUILDERS))}"
+        ) from None

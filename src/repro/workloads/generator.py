@@ -14,6 +14,21 @@ relaxed-heavy             1.2 x L     [10, 16.8]
 where ``L`` is the end-to-end latency of the application under the minimum
 configuration.  "In each workload, one of the four DNN applications is
 randomly picked to get invoked in each time interval."
+
+The *timing* of arrivals is pluggable: pass any
+:class:`~repro.workloads.arrival.ArrivalProcess` as ``arrival`` to replace
+the paper's uniform Azure-interval sampling with Poisson, bursty on/off,
+diurnal or trace-replay demand (leaving it ``None`` keeps the paper's
+process, byte-identical to the historical output).
+
+Examples
+--------
+SLO derivation is independent of profiling, so it doctests cheaply:
+
+>>> STRICT_LIGHT.slo_ms(100.0)
+80.0
+>>> WORKLOAD_SETTINGS["relaxed-heavy"].intervals.mean_ms
+13.4
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ import numpy as np
 
 from repro.profiles.profiler import ProfileStore
 from repro.utils.validation import ensure_positive, ensure_positive_int
+from repro.workloads.arrival import ArrivalProcess, AzureIntervalProcess
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Request
 from repro.workloads.traces import (
@@ -32,7 +48,6 @@ from repro.workloads.traces import (
     LIGHT_INTERVALS,
     NORMAL_INTERVALS,
     ArrivalIntervalRange,
-    generate_intervals,
 )
 
 __all__ = [
@@ -91,10 +106,15 @@ class WorkloadGenerator:
     rng:
         Random generator for arrival intervals and application choice.
     burstiness:
-        Passed through to the interval generator (0.0 = the paper's uniform
-        sampling).
+        Passed through to the default interval generator (0.0 = the paper's
+        uniform sampling).  Ignored when ``arrival`` is given.
     app_weights:
         Optional non-uniform application mix (defaults to uniform).
+    arrival:
+        Optional :class:`~repro.workloads.arrival.ArrivalProcess` replacing
+        the paper's uniform Azure-interval sampling.  ``None`` (default)
+        uses :class:`~repro.workloads.arrival.AzureIntervalProcess` over the
+        setting's interval range — byte-identical to the pre-scenario code.
     """
 
     applications: Sequence[Workflow]
@@ -104,6 +124,7 @@ class WorkloadGenerator:
     burstiness: float = 0.0
     app_weights: Sequence[float] | None = None
     workflow_factory: Callable[[Workflow], Workflow] | None = None
+    arrival: ArrivalProcess | None = None
     _base_latency_cache: dict[str, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -138,13 +159,17 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
+    @property
+    def arrival_process(self) -> ArrivalProcess:
+        """The effective arrival process (paper-default when none was given)."""
+        if self.arrival is not None:
+            return self.arrival
+        return AzureIntervalProcess(self.setting.intervals, burstiness=self.burstiness)
+
     def generate(self, num_requests: int, *, start_ms: float = 0.0) -> list[Request]:
         """Generate ``num_requests`` requests with increasing arrival times."""
         ensure_positive_int(num_requests, "num_requests")
-        intervals = generate_intervals(
-            num_requests, self.setting.intervals, self.rng, burstiness=self.burstiness
-        )
-        arrivals = start_ms + np.cumsum(intervals)
+        arrivals = self.arrival_process.arrival_times(num_requests, self.rng, start_ms=start_ms)
 
         if self.app_weights is None:
             probs = None
@@ -169,9 +194,15 @@ class WorkloadGenerator:
         return requests
 
     def generate_for_duration(self, duration_ms: float, *, start_ms: float = 0.0) -> list[Request]:
-        """Generate requests until the arrival clock exceeds ``duration_ms``."""
+        """Generate requests until the arrival clock exceeds ``duration_ms``.
+
+        The request count is estimated from the arrival process's long-run
+        mean rate with a 30% safety margin; a non-looping trace shorter than
+        the estimate raises
+        :class:`~repro.workloads.arrival.TraceExhaustedError`.
+        """
         ensure_positive(duration_ms, "duration_ms")
-        mean_interval = self.setting.intervals.mean_ms
+        mean_interval = self.arrival_process.mean_interval_ms
         estimate = max(1, int(duration_ms / mean_interval * 1.3) + 8)
         requests = self.generate(estimate, start_ms=start_ms)
         return [r for r in requests if r.arrival_ms <= start_ms + duration_ms]
