@@ -1,0 +1,188 @@
+"""Cluster-scale benchmark: the indexed cluster core vs the scan-based path.
+
+Sweeps the cluster from the paper's 16 invokers toward 1024, running the
+same ESG workload twice per size:
+
+* **scan** — ``ClusterConfig(index_mode="scan")`` with the ESG plan cache
+  off: the pre-refactor reference path (per-tick expiry sweeps, linear
+  warm/capacity scans, full round-robin queue walks, every plan searched).
+  Scan mode pays no cluster-level index maintenance (the callbacks are not
+  even bound); the only residual deltas vs the literal pre-refactor code
+  are the invoker-local live-container lists (which scan queries now use)
+  and the controller's pending-job counter — both cheaper than what they
+  replaced, keeping the baseline conservative.
+* **indexed** — the default path (incremental indexes, event-driven expiry,
+  dirty-queue scheduling, memoized plans).
+
+Two timings are reported per run:
+
+* ``tick_s`` — wall time spent handling ``SchedulerTickEvent`` (the whole
+  controller round including the policy's plan search), and
+* ``platform_s`` — ``tick_s`` minus the time spent inside ``policy.plan``:
+  the platform-side scheduling-pass cost the cluster refactor targets.
+  The plan search itself is identical algorithm work on both paths (the
+  indexed path merely memoizes exact repeats), so the platform metric is
+  the honest measure of the O(invokers x containers) -> O(log n) claim.
+
+The headline acceptance number is the **platform speedup at 256 invokers**
+(>= 5x required; ~10x measured).  Both paths must produce byte-identical
+RunSummaries at every size — asserted here and in the tier-1 parity tests.
+
+Environment knobs::
+
+    REPRO_BENCH_CLUSTER_SIZES=16,64,256,1024   # sweep sizes
+    REPRO_BENCH_CLUSTER_SCENARIO=paper-moderate-normal
+    REPRO_BENCH_REQUESTS=60                    # requests per run
+    REPRO_BENCH_JSON=bench_cluster_scale.json  # also write the BENCH JSON here
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import bench_requests, run_once
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.controller import ControllerConfig
+from repro.cluster.events import SchedulerTickEvent
+from repro.cluster.simulator import Simulation, SimulationConfig
+from repro.experiments.runner import build_profile_store, make_policy
+from repro.workloads.scenarios import get_scenario
+
+DEFAULT_SIZES = (16, 64, 256, 1024)
+
+#: Below this many requests the tick sample is too thin for a stable ratio,
+#: so the speedup assertion is skipped (the parity assertion never is).
+MIN_REQUESTS_FOR_SPEEDUP_ASSERT = 40
+
+
+def sweep_sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_CLUSTER_SIZES")
+    if not raw:
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def bench_scenario_name() -> str:
+    return os.environ.get("REPRO_BENCH_CLUSTER_SCENARIO", "paper-moderate-normal")
+
+
+def timed_run(store, scenario, num_invokers: int, mode: str, requests: int):
+    """One full simulation; returns (summary, tick_seconds, plan_seconds)."""
+    policy = make_policy("ESG", plan_cache=(mode == "indexed"))
+    plan_acc = [0.0]
+    inner_plan = policy.plan
+
+    def timed_plan(queue, now_ms):
+        start = time.perf_counter()
+        try:
+            return inner_plan(queue, now_ms)
+        finally:
+            plan_acc[0] += time.perf_counter() - start
+
+    policy.plan = timed_plan
+    simulation = Simulation(
+        policy=policy,
+        requests=scenario.build_requests(requests, 42, store),
+        profile_store=store,
+        config=SimulationConfig(
+            cluster=ClusterConfig(num_invokers=num_invokers, index_mode=mode),
+            controller=ControllerConfig(initial_warm="all"),
+        ),
+        setting_name=scenario.setting,
+    )
+    tick_acc = [0.0]
+
+    def timed_tick(sim, event):
+        start = time.perf_counter()
+        event.apply(sim)
+        tick_acc[0] += time.perf_counter() - start
+
+    simulation.add_handler(SchedulerTickEvent, timed_tick)
+    summary = simulation.run()
+    return summary, tick_acc[0], plan_acc[0]
+
+
+def run_cluster_scale_sweep(requests: int, sizes: tuple[int, ...]) -> dict:
+    store = build_profile_store()
+    scenario = get_scenario(bench_scenario_name())
+    rows = []
+    for num_invokers in sizes:
+        scan_summary, scan_tick, scan_plan = timed_run(
+            store, scenario, num_invokers, "scan", requests
+        )
+        idx_summary, idx_tick, idx_plan = timed_run(
+            store, scenario, num_invokers, "indexed", requests
+        )
+        scan_platform = max(1e-9, scan_tick - scan_plan)
+        idx_platform = max(1e-9, idx_tick - idx_plan)
+        rows.append(
+            {
+                "num_invokers": num_invokers,
+                "scan": {
+                    "tick_s": round(scan_tick, 4),
+                    "plan_s": round(scan_plan, 4),
+                    "platform_s": round(scan_platform, 4),
+                },
+                "indexed": {
+                    "tick_s": round(idx_tick, 4),
+                    "plan_s": round(idx_plan, 4),
+                    "platform_s": round(idx_platform, 4),
+                },
+                "platform_speedup": round(scan_platform / idx_platform, 2),
+                "tick_speedup": round(scan_tick / max(1e-9, idx_tick), 2),
+                "summaries_identical": scan_summary == idx_summary,
+            }
+        )
+    return {
+        "benchmark": "cluster_scale",
+        "scenario": scenario.name,
+        "requests": requests,
+        "sizes": rows,
+    }
+
+
+def emit_bench_json(report: dict) -> None:
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print("BENCH_JSON " + json.dumps(report, sort_keys=True))
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+def render_rows(report: dict) -> str:
+    lines = [
+        f"Cluster-scale sweep  ({report['scenario']}, {report['requests']} requests)",
+        f"{'invokers':>8}  {'scan tick':>10}  {'idx tick':>10}  "
+        f"{'scan platform':>14}  {'idx platform':>13}  {'platform x':>10}",
+    ]
+    for row in report["sizes"]:
+        lines.append(
+            f"{row['num_invokers']:>8}  {row['scan']['tick_s']:>9.3f}s  "
+            f"{row['indexed']['tick_s']:>9.3f}s  {row['scan']['platform_s']:>13.3f}s  "
+            f"{row['indexed']['platform_s']:>12.3f}s  {row['platform_speedup']:>9.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_cluster_scale_speedup(benchmark):
+    requests = bench_requests()
+    sizes = sweep_sizes()
+    report = run_once(benchmark, run_cluster_scale_sweep, requests, sizes)
+    print()
+    print(render_rows(report))
+    emit_bench_json(report)
+
+    # The hard guarantee at every size: performance-only divergence.
+    for row in report["sizes"]:
+        assert row["summaries_identical"], row["num_invokers"]
+
+    # The acceptance number: >= 5x platform scheduling-pass speedup at 256
+    # invokers (skipped on tiny smoke sweeps where the sample is too thin).
+    if requests >= MIN_REQUESTS_FOR_SPEEDUP_ASSERT:
+        for row in report["sizes"]:
+            if row["num_invokers"] >= 256:
+                assert row["platform_speedup"] >= 5.0, row

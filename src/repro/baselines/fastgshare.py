@@ -97,15 +97,8 @@ class FaSTGSharePolicy(SchedulingPolicy):
     ) -> int | None:
         """Pack the GPU as tightly as possible (fewest leftover vGPUs)."""
         cluster = self.context.cluster
-        fitting = cluster.invokers_that_fit(config)
-        if not fitting:
-            return None
-        best = min(
-            fitting,
-            key=lambda inv: (
-                inv.available_vgpus - config.vgpus,
-                inv.available_vcpus - config.vcpus,
-                inv.invoker_id,
-            ),
+        best = cluster.best_fitting_invoker(
+            config,
+            key=lambda cpu, gpu: (gpu - config.vgpus, cpu - config.vcpus),
         )
-        return best.invoker_id
+        return None if best is None else best.invoker_id

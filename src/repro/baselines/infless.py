@@ -115,11 +115,11 @@ class INFlessPolicy(SchedulingPolicy):
     ) -> int | None:
         """Choose the fitting node that leaves the least stranded capacity."""
         cluster = self.context.cluster
-        fitting = cluster.invokers_that_fit(config)
-        if not fitting:
-            return None
-        best = min(
-            fitting,
-            key=lambda inv: (inv.fragmentation_score_after(config), inv.invoker_id),
+        total_vcpus = cluster.config.vcpus_per_invoker
+        total_vgpus = cluster.config.vgpus_per_invoker
+        best = cluster.best_fitting_invoker(
+            config,
+            key=lambda cpu, gpu: (cpu - config.vcpus) / total_vcpus
+            + 2.0 * ((gpu - config.vgpus) / total_vgpus),
         )
-        return best.invoker_id
+        return None if best is None else best.invoker_id

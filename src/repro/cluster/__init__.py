@@ -20,6 +20,7 @@ from repro.cluster.container import Container, ContainerState
 from repro.cluster.controller import Controller, ControllerConfig
 from repro.cluster.datatransfer import DataTransferModel
 from repro.cluster.events import (
+    ContainerExpireEvent,
     Event,
     PrewarmCompleteEvent,
     RequestArrivalEvent,
@@ -38,10 +39,27 @@ from repro.cluster.policy_api import (
 from repro.cluster.prewarm import PrewarmManager
 from repro.cluster.simulator import Simulation, SimulationConfig
 from repro.cluster.tasks import Task
+from repro.cluster.topology import (
+    TOPOLOGIES,
+    ClusterTopology,
+    TopologyRegistry,
+    get_topology,
+    parse_topology,
+    register_topology,
+    topology_names,
+)
 
 __all__ = [
     "ClusterConfig",
     "ClusterState",
+    "ClusterTopology",
+    "TopologyRegistry",
+    "TOPOLOGIES",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "parse_topology",
+    "ContainerExpireEvent",
     "Container",
     "ContainerState",
     "Controller",

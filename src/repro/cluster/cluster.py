@@ -5,15 +5,38 @@ GPU split into up to 7 MIG instances (vGPUs).  Also implements OpenWhisk's
 "home invoker" hashing: the default node for a function is determined by a
 hash of its (namespace, action) identity, which concentrates invocations of
 the same function on the same node and therefore yields more warm starts.
+
+Cluster-wide queries are served from incrementally maintained indexes so
+per-event cost stays (near-)constant as the cluster grows:
+
+* a **free-capacity index** buckets invoker ids by their exact
+  ``(available_vcpus, available_vgpus)`` pair — at most
+  ``(vcpus+1) x (vgpus+1)`` buckets regardless of node count — backing
+  :meth:`ClusterState.invokers_that_fit`,
+  :meth:`ClusterState.most_available_invoker` and the baselines'
+  fragmentation-minimising placement;
+* a **per-function warm index** tracks which invokers hold a WARM/BUSY
+  container of each function, backing
+  :meth:`ClusterState.warm_invokers_for`;
+* **counters** replace the ``sum(...)`` sweeps behind
+  :meth:`ClusterState.total_available_vcpus` / ``total_available_vgpus``
+  and the prewarmer's resident-container counts.
+
+Setting ``ClusterConfig(index_mode="scan")`` switches every query back to
+the original linear scans (the pre-index reference path).  Both paths return
+byte-identical results — the parity tests and ``benchmarks/
+bench_cluster_scale.py`` rely on that.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Literal
 
 from repro.cluster.invoker import Invoker
-from repro.cluster.container import DEFAULT_KEEP_ALIVE_MS
+from repro.cluster.container import DEFAULT_KEEP_ALIVE_MS, ContainerState
 from repro.profiles.configuration import Configuration
 from repro.utils.validation import ensure_positive_int
 
@@ -28,11 +51,18 @@ class ClusterConfig:
     vcpus_per_invoker: int = 16
     vgpus_per_invoker: int = 7
     keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS
+    #: ``"indexed"`` (default) serves cluster queries from the incremental
+    #: indexes and drives container expiry by events; ``"scan"`` restores
+    #: the original linear scans (the byte-identical reference path used by
+    #: the parity tests and the cluster-scale benchmark).
+    index_mode: Literal["indexed", "scan"] = "indexed"
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.num_invokers, "num_invokers")
         ensure_positive_int(self.vcpus_per_invoker, "vcpus_per_invoker")
         ensure_positive_int(self.vgpus_per_invoker, "vgpus_per_invoker")
+        if self.index_mode not in ("indexed", "scan"):
+            raise ValueError(f"invalid index_mode {self.index_mode!r}")
 
     @property
     def total_vcpus(self) -> int:
@@ -45,12 +75,84 @@ class ClusterConfig:
         return self.num_invokers * self.vgpus_per_invoker
 
 
+class _CapacityBuckets:
+    """Invoker ids bucketed by exact ``(available_vcpus, available_vgpus)``.
+
+    The bucket space is bounded by the per-node capacity — 17 x 8 = 136
+    buckets for the paper's nodes — so iterating buckets is O(1) in the
+    number of invokers.  Each bucket keeps its member ids in a set plus a
+    lazily-pruned min-heap, giving O(log n) membership moves and amortised
+    O(log n) min-id lookups (the deterministic tie-break every placement
+    rule uses).
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[tuple[int, int], set[int]] = {}
+        self._heaps: dict[tuple[int, int], list[int]] = {}
+        #: Stale (discarded-but-still-heaped) entry count per bucket; when it
+        #: overtakes the live membership the heap is rebuilt, bounding heap
+        #: memory by O(invokers) regardless of how much capacity churn a
+        #: long run generates.
+        self._stale: dict[tuple[int, int], int] = {}
+
+    def add(self, bucket: tuple[int, int], invoker_id: int) -> None:
+        self._members.setdefault(bucket, set()).add(invoker_id)
+        heapq.heappush(self._heaps.setdefault(bucket, []), invoker_id)
+
+    def discard(self, bucket: tuple[int, int], invoker_id: int) -> None:
+        members = self._members.get(bucket)
+        if members is not None and invoker_id in members:
+            members.remove(invoker_id)
+            stale = self._stale.get(bucket, 0) + 1
+            if stale > max(8, len(members)):
+                self._heaps[bucket] = sorted(members)
+                self._stale[bucket] = 0
+            else:
+                self._stale[bucket] = stale
+
+    def move(self, old: tuple[int, int], new: tuple[int, int], invoker_id: int) -> None:
+        self.discard(old, invoker_id)
+        self.add(new, invoker_id)
+
+    def min_id(self, bucket: tuple[int, int]) -> int | None:
+        """Smallest member id of the bucket (``None`` when empty)."""
+        members = self._members.get(bucket)
+        if not members:
+            return None
+        heap = self._heaps[bucket]
+        while heap and heap[0] not in members:
+            heapq.heappop(heap)
+            self._stale[bucket] = max(0, self._stale.get(bucket, 0) - 1)
+        return heap[0] if heap else None
+
+    def iter_nonempty(self) -> Iterator[tuple[tuple[int, int], set[int]]]:
+        """Yield every non-empty ``(bucket, member-ids)`` pair."""
+        for bucket, members in self._members.items():
+            if members:
+                yield bucket, members
+
+    def fitting_ids(self, need_vcpus: int, need_vgpus: int) -> list[int]:
+        """All invoker ids whose bucket satisfies the requirement."""
+        ids: list[int] = []
+        for (cpu, gpu), members in self.iter_nonempty():
+            if cpu >= need_vcpus and gpu >= need_vgpus:
+                ids.extend(members)
+        return ids
+
+
 @dataclass
 class ClusterState:
     """The live state of all invokers."""
 
     config: ClusterConfig = field(default_factory=ClusterConfig)
     invokers: list[Invoker] = field(init=False)
+    _indexed: bool = field(init=False, repr=False)
+    _capacity: _CapacityBuckets = field(init=False, repr=False)
+    _bucket_of: list[tuple[int, int]] = field(init=False, repr=False)
+    _free_vcpus: int = field(init=False, repr=False)
+    _free_vgpus: int = field(init=False, repr=False)
+    _warm_index: dict[str, set[int]] = field(init=False, repr=False)
+    _live_counts: dict[str, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.invokers = [
@@ -62,6 +164,55 @@ class ClusterState:
             )
             for i in range(self.config.num_invokers)
         ]
+        self._indexed = self.config.index_mode == "indexed"
+        self._capacity = _CapacityBuckets()
+        full = (self.config.vcpus_per_invoker, self.config.vgpus_per_invoker)
+        self._bucket_of = [full] * self.config.num_invokers
+        for invoker in self.invokers:
+            self._capacity.add(full, invoker.invoker_id)
+            if self._indexed:
+                # Scan mode skips cluster-level index maintenance entirely,
+                # keeping it an honest pre-refactor baseline: its queries
+                # never read these structures, and paying bucket moves /
+                # warm-set updates would overstate the indexed speedup.
+                invoker.bind_cluster_callbacks(
+                    self._capacity_changed, self._containers_changed
+                )
+        self._free_vcpus = self.config.total_vcpus
+        self._free_vgpus = self.config.total_vgpus
+        self._warm_index = {}
+        self._live_counts = {}
+
+    # ------------------------------------------------------------------
+    # Index maintenance (invoked by the invokers' change callbacks)
+    # ------------------------------------------------------------------
+    def _capacity_changed(self, invoker: Invoker) -> None:
+        i = invoker.invoker_id
+        old = self._bucket_of[i]
+        new = (invoker.available_vcpus, invoker.available_vgpus)
+        if new == old:
+            return
+        self._free_vcpus += new[0] - old[0]
+        self._free_vgpus += new[1] - old[1]
+        self._capacity.move(old, new, i)
+        self._bucket_of[i] = new
+
+    def _containers_changed(self, invoker: Invoker, function_name: str, live_delta: int) -> None:
+        if live_delta:
+            self._live_counts[function_name] = (
+                self._live_counts.get(function_name, 0) + live_delta
+            )
+        if invoker.resident_candidate_count(function_name) > 0:
+            self._warm_index.setdefault(function_name, set()).add(invoker.invoker_id)
+        else:
+            members = self._warm_index.get(function_name)
+            if members is not None:
+                members.discard(invoker.invoker_id)
+
+    @property
+    def indexed(self) -> bool:
+        """True when queries are served from the incremental indexes."""
+        return self._indexed
 
     # ------------------------------------------------------------------
     # Access
@@ -95,34 +246,112 @@ class ClusterState:
     # ------------------------------------------------------------------
     # Cluster-wide queries
     # ------------------------------------------------------------------
-    def invokers_that_fit(self, config: Configuration) -> list[Invoker]:
+    def invokers_that_fit(self, config: Configuration) -> tuple[Invoker, ...]:
         """Invokers that currently have room for ``config`` (ordered by id)."""
-        return [inv for inv in self.invokers if inv.can_fit(config)]
+        if self._indexed:
+            ids = sorted(self._capacity.fitting_ids(config.vcpus, config.vgpus))
+            return tuple(self.invokers[i] for i in ids)
+        return tuple(inv for inv in self.invokers if inv.can_fit(config))
 
-    def warm_invokers_for(self, function_name: str, now_ms: float) -> list[Invoker]:
-        """Invokers with an idle warm container for ``function_name``."""
-        return [inv for inv in self.invokers if inv.has_warm_container(function_name, now_ms)]
+    def warm_invokers_for(self, function_name: str, now_ms: float) -> tuple[Invoker, ...]:
+        """Invokers with a resident (warm or busy) container for ``function_name``."""
+        if self._indexed:
+            members = self._warm_index.get(function_name)
+            if not members:
+                return ()
+            return tuple(
+                invoker
+                for i in sorted(members)
+                if (invoker := self.invokers[i]).has_warm_container(function_name, now_ms)
+            )
+        return tuple(
+            inv for inv in self.invokers if inv.has_warm_container(function_name, now_ms)
+        )
+
+    def has_warm_invoker(self, function_name: str, now_ms: float) -> bool:
+        """True if any invoker holds a resident container for the function."""
+        if self._indexed:
+            members = self._warm_index.get(function_name)
+            if not members:
+                return False
+            return any(
+                self.invokers[i].has_warm_container(function_name, now_ms) for i in members
+            )
+        return any(inv.has_warm_container(function_name, now_ms) for inv in self.invokers)
 
     def most_available_invoker(self, config: Configuration) -> Invoker | None:
         """The fitting invoker with the most free resources (ties by id).
 
         Used as the cold-node fallback of ESG_Dispatch ("choose the one with
-        the most available resources").
+        the most available resources").  Delegates to
+        :meth:`best_fitting_invoker` with the negated availability score
+        (float negation is exact, and both rules tie-break to the lowest
+        id), so there is exactly one bucket-scan implementation to maintain.
         """
+        total_vcpus = self.config.vcpus_per_invoker
+        return self.best_fitting_invoker(
+            config, key=lambda cpu, gpu: -(gpu + cpu / total_vcpus)
+        )
+
+    def best_fitting_invoker(
+        self, config: Configuration, key: Callable[[int, int], object]
+    ) -> Invoker | None:
+        """The fitting invoker minimising ``key(avail_vcpus, avail_vgpus)``.
+
+        Ties break toward the lowest invoker id — the deterministic rule the
+        fragmentation-minimising baselines (INFless, FaST-GShare) use.  The
+        key may only depend on the node's free capacity (all invokers are
+        homogeneous), which is what lets the capacity index answer the query
+        per *bucket* instead of per node.
+        """
+        if self._indexed:
+            best_key: object | None = None
+            best_id: int | None = None
+            for (cpu, gpu), _members in self._capacity.iter_nonempty():
+                if cpu < config.vcpus or gpu < config.vgpus:
+                    continue
+                bucket_key = key(cpu, gpu)
+                if best_key is None or bucket_key < best_key:
+                    best_key = bucket_key
+                    best_id = self._capacity.min_id((cpu, gpu))
+                elif not bucket_key > best_key:  # equal keys: lowest id wins
+                    min_id = self._capacity.min_id((cpu, gpu))
+                    if min_id is not None and (best_id is None or min_id < best_id):
+                        best_id = min_id
+            return None if best_id is None else self.invokers[best_id]
         fitting = self.invokers_that_fit(config)
         if not fitting:
             return None
-        return max(
+        return min(
             fitting,
-            key=lambda inv: (inv.available_vgpus + inv.available_vcpus / inv.total_vcpus, -inv.invoker_id),
+            key=lambda inv: (key(inv.available_vcpus, inv.available_vgpus), inv.invoker_id),
         )
+
+    def resident_container_count(self, function_name: str) -> int:
+        """Live (starting, warm or busy) containers of the function cluster-wide."""
+        if self._indexed:
+            return self._live_counts.get(function_name, 0)
+        count = 0
+        for invoker in self.invokers:
+            for container in invoker.containers_for(function_name):
+                if container.state in (
+                    ContainerState.WARM,
+                    ContainerState.BUSY,
+                    ContainerState.STARTING,
+                ):
+                    count += 1
+        return count
 
     def total_available_vcpus(self) -> int:
         """Free vCPUs across the cluster."""
+        if self._indexed:
+            return self._free_vcpus
         return sum(inv.available_vcpus for inv in self.invokers)
 
     def total_available_vgpus(self) -> int:
         """Free vGPUs across the cluster."""
+        if self._indexed:
+            return self._free_vgpus
         return sum(inv.available_vgpus for inv in self.invokers)
 
     def cpu_utilization(self) -> float:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["ContainerState", "Container", "DEFAULT_KEEP_ALIVE_MS"]
 
@@ -52,6 +53,24 @@ class Container:
     #: Number of tasks currently executing in this container.
     active_tasks: int = 0
     container_id: int = field(default_factory=lambda: next(_container_ids))
+    #: Lifecycle listener installed by the owning invoker; receives
+    #: ``(container, old_state, new_state)`` after every state change so the
+    #: invoker/cluster indexes stay incrementally consistent.
+    _listener: Callable[["Container", ContainerState, ContainerState], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def bind_listener(
+        self, listener: Callable[["Container", ContainerState, ContainerState], None] | None
+    ) -> None:
+        """Install the state-change listener (one owner at a time)."""
+        self._listener = listener
+
+    def _transition(self, new_state: ContainerState) -> None:
+        old = self.state
+        self.state = new_state
+        if self._listener is not None and old is not new_state:
+            self._listener(self, old, new_state)
 
     # ------------------------------------------------------------------
     # State transitions
@@ -64,17 +83,17 @@ class Container:
             raise RuntimeError(
                 f"container {self.container_id} still has {self.active_tasks} active tasks"
             )
-        self.state = ContainerState.WARM
         self.warm_at_ms = min(self.warm_at_ms, now_ms) if self.warm_at_ms else now_ms
         self.expires_at_ms = now_ms + keep_alive_ms
+        self._transition(ContainerState.WARM)
 
     def assign_task(self) -> None:
         """A task starts executing in this container."""
         if self.state == ContainerState.STOPPED:
             raise RuntimeError(f"container {self.container_id} is stopped")
         self.active_tasks += 1
-        self.state = ContainerState.BUSY
         self.expires_at_ms = float("inf")
+        self._transition(ContainerState.BUSY)
 
     def release_task(self, now_ms: float, keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS) -> None:
         """A task finished; when the last one leaves, the container idles warm."""
@@ -82,8 +101,8 @@ class Container:
             raise RuntimeError(f"container {self.container_id} has no active task to release")
         self.active_tasks -= 1
         if self.active_tasks == 0:
-            self.state = ContainerState.WARM
             self.expires_at_ms = now_ms + keep_alive_ms
+            self._transition(ContainerState.WARM)
 
     def mark_stopped(self) -> None:
         """Unload the container."""
@@ -91,8 +110,8 @@ class Container:
             raise RuntimeError(
                 f"container {self.container_id} cannot be stopped with active tasks"
             )
-        self.state = ContainerState.STOPPED
         self.expires_at_ms = float("-inf")
+        self._transition(ContainerState.STOPPED)
 
     # ------------------------------------------------------------------
     # Queries

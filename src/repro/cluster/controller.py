@@ -11,7 +11,10 @@ their workflow DAG as tasks complete.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time as _time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Literal
 
@@ -19,6 +22,7 @@ from repro.cluster.cluster import ClusterState
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.datatransfer import DataTransferModel
 from repro.cluster.events import (
+    ContainerExpireEvent,
     Event,
     PrewarmCompleteEvent,
     TaskCompletionEvent,
@@ -84,6 +88,23 @@ class Controller:
     _recheck: list[tuple[str, str]] = field(default_factory=list, repr=False)
     _task_containers: dict[int, Container] = field(default_factory=dict, repr=False)
     _rr_offset: int = 0
+    #: Keys of queues currently holding jobs (the scheduling "dirty set").
+    _nonempty: set[tuple[str, str]] = field(default_factory=set, repr=False)
+    #: Total jobs waiting across all queues (counter behind pending_jobs()).
+    _pending_jobs: int = 0
+    #: Cached sorted queue-key list; invalidated when a queue is created.
+    _sorted_keys: list[tuple[str, str]] | None = field(default=None, repr=False)
+    #: Armed keep-alive deadlines (indexed mode): a min-heap of
+    #: ``(expires_at_ms, seq, container)`` drained at every tick so the
+    #: prewarmer/scheduler never observe a stale-expired container, no
+    #: matter how same-timestamp events interleave in the simulation loop.
+    _expiry_heap: list[tuple[float, int, Container]] = field(default_factory=list, repr=False)
+    _expiry_seq: "itertools.count[int]" = field(default_factory=itertools.count, repr=False)
+
+    @property
+    def _indexed(self) -> bool:
+        """True when the cluster runs in indexed (event-driven expiry) mode."""
+        return self.cluster.indexed
 
     # ------------------------------------------------------------------
     # Setup
@@ -109,11 +130,13 @@ class Controller:
                     home = self.cluster.home_invoker_id(workflow.name, stage.function_name)
                     invoker = self.cluster.invoker(home)
                     if not invoker.has_warm_container(stage.function_name, 0.0):
-                        invoker.create_warm_container(stage.function_name, 0.0)
+                        self._arm_expiry(invoker.create_warm_container(stage.function_name, 0.0))
                 else:  # "all"
                     for invoker in self.cluster:
                         if not invoker.has_warm_container(stage.function_name, 0.0):
-                            invoker.create_warm_container(stage.function_name, 0.0)
+                            self._arm_expiry(
+                                invoker.create_warm_container(stage.function_name, 0.0)
+                            )
 
     # ------------------------------------------------------------------
     # Queue management
@@ -128,20 +151,36 @@ class Controller:
                 stage_id=stage_id,
                 function_name=workflow.function_of(stage_id),
                 workflow=workflow,
+                size_listener=self._queue_size_changed,
             )
+            self._sorted_keys = None
         return self._queues[key]
+
+    def _queue_size_changed(self, queue: AFWQueue, delta: int) -> None:
+        """Maintain the non-empty set and pending counter on queue mutation."""
+        self._pending_jobs += delta
+        if queue.jobs:
+            self._nonempty.add(queue.key)
+        else:
+            self._nonempty.discard(queue.key)
+
+    def _all_keys_sorted(self) -> list[tuple[str, str]]:
+        """The sorted queue keys, cached (queues are created, never removed)."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._queues)
+        return self._sorted_keys
 
     def queues(self) -> list[AFWQueue]:
         """All existing AFW queues (deterministic order)."""
-        return [self._queues[key] for key in sorted(self._queues)]
+        return [self._queues[key] for key in self._all_keys_sorted()]
 
     def pending_jobs(self) -> int:
         """Total number of jobs waiting across all queues."""
-        return sum(len(q) for q in self._queues.values())
+        return self._pending_jobs
 
     def has_pending_work(self) -> bool:
         """True if any queue holds a job."""
-        return any(len(q) > 0 for q in self._queues.values())
+        return self._pending_jobs > 0
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -164,6 +203,7 @@ class Controller:
         container = self._task_containers.pop(task.task_id, None)
         if container is not None:
             container.release_task(now_ms, invoker.keep_alive_ms)
+            self._arm_expiry(container)
 
         for job in task.jobs:
             request = job.request
@@ -178,11 +218,55 @@ class Controller:
         if container.state == ContainerState.STARTING:
             keep_alive = self.cluster.invoker(container.invoker_id).keep_alive_ms
             container.mark_warm(now_ms, keep_alive)
+            self._arm_expiry(container)
         self.metrics.record_prewarm()
+
+    def _arm_expiry(self, container: Container) -> None:
+        """Schedule the container's keep-alive expiry (indexed mode only).
+
+        Scan mode keeps the per-tick :meth:`ClusterState.expire_containers`
+        sweep instead.  The deadline goes to two places: the controller's
+        expiry heap (drained at every tick, which guarantees ticks observe
+        exactly the containers the scan path would) and a
+        :class:`ContainerExpireEvent` in the simulation loop (the wake-up
+        between ticks).  Re-arming is handled lazily on both: a stale entry
+        whose deadline no longer matches the container's ``expires_at_ms``
+        is a no-op.
+        """
+        if (
+            self._indexed
+            and container.state is ContainerState.WARM
+            and container.expires_at_ms != float("inf")
+        ):
+            heapq.heappush(
+                self._expiry_heap,
+                (container.expires_at_ms, next(self._expiry_seq), container),
+            )
+            self.event_sink(
+                ContainerExpireEvent(time_ms=container.expires_at_ms, container=container)
+            )
+
+    def _drain_expired_containers(self, now_ms: float) -> None:
+        """Stop every armed container whose deadline has passed (<= now)."""
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now_ms:
+            deadline, _seq, container = heapq.heappop(heap)
+            if (
+                container.state is ContainerState.WARM
+                and container.expires_at_ms == deadline
+            ):
+                container.mark_stopped()
 
     def on_tick(self, now_ms: float) -> None:
         """One controller round: expire containers, prewarm, scan queues."""
-        self.cluster.expire_containers(now_ms)
+        if self._indexed:
+            # Amortised O(due): mirrors the scan path's inclusive
+            # ``now >= expires_at`` sweep without touching live containers,
+            # and makes tick-time expiry independent of how same-timestamp
+            # events happen to be ordered in the simulation heap.
+            self._drain_expired_containers(now_ms)
+        else:
+            self.cluster.expire_containers(now_ms)
         if self.prewarmer is not None and self.config.prewarm_enabled:
             for plan in self.prewarmer.plan(self.cluster, now_ms):
                 container = self._find_starting_container(plan.invoker_id, plan.function_name)
@@ -202,13 +286,29 @@ class Controller:
     # Scheduling
     # ------------------------------------------------------------------
     def run_scheduling_pass(self, now_ms: float) -> int:
-        """Scan all queues round-robin once; returns the number of dispatches."""
-        keys = sorted(self._queues)
+        """Scan the queues round-robin once; returns the number of dispatches.
+
+        Indexed mode visits only the queues in the non-empty "dirty" set, in
+        the exact cyclic order the full scan would have reached them — an
+        empty queue is a no-op in the scan (its ``continue`` also skips the
+        recheck retry), so the filtered walk dispatches identically while
+        touching O(non-empty) queues instead of O(all).
+        """
+        if self._indexed:
+            keys = self._all_keys_sorted()
+        else:
+            keys = sorted(self._queues)
         if not keys:
             return 0
         n = len(keys)
         dispatched = 0
-        order = [keys[(self._rr_offset + i) % n] for i in range(n)]
+        if self._indexed:
+            pivot = keys[self._rr_offset % n]
+            nonempty = sorted(self._nonempty)
+            split = bisect_left(nonempty, pivot)
+            order = nonempty[split:] + nonempty[:split]
+        else:
+            order = [keys[(self._rr_offset + i) % n] for i in range(n)]
         self._rr_offset = (self._rr_offset + 1) % n
 
         for key in order:

@@ -12,9 +12,9 @@ new scenario types can either subclass :class:`Event` (and implement
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ClassVar
 
-from repro.cluster.container import Container
+from repro.cluster.container import Container, ContainerState
 from repro.cluster.tasks import Task
 from repro.workloads.request import Request
 
@@ -27,12 +27,20 @@ __all__ = [
     "TaskCompletionEvent",
     "SchedulerTickEvent",
     "PrewarmCompleteEvent",
+    "ContainerExpireEvent",
 ]
 
 
 @dataclass(frozen=True)
 class Event:
     """Base class: something that happens at an absolute simulation time."""
+
+    #: Housekeeping events (e.g. container-expiry timers) never keep a run
+    #: alive on their own: the simulator drains them only while productive
+    #: events remain, and they are invisible to the horizon check — exactly
+    #: mirroring the per-tick expiry scan, which also stops when the
+    #: workload does.
+    housekeeping: ClassVar[bool] = False
 
     time_ms: float
 
@@ -88,3 +96,27 @@ class PrewarmCompleteEvent(Event):
 
     def apply(self, simulation: "Simulation") -> None:
         simulation.controller.on_prewarm_complete(self.container, simulation.now_ms)
+
+
+@dataclass(frozen=True)
+class ContainerExpireEvent(Event):
+    """An idle warm container's keep-alive timer elapses.
+
+    Scheduled by the controller whenever a container (re)arms its keep-alive
+    (indexed mode's replacement for the per-tick ``expire_containers`` scan).
+    Cancellation is lazy: if the container was re-armed, went busy, or was
+    already stopped, the armed deadline no longer matches ``time_ms`` and
+    the event is a no-op — the standard timer-heap idiom.
+    """
+
+    housekeeping: ClassVar[bool] = True
+
+    container: Container = field(compare=False)
+
+    def apply(self, simulation: "Simulation") -> None:
+        container = self.container
+        if (
+            container.state is ContainerState.WARM
+            and container.expires_at_ms == self.time_ms
+        ):
+            container.mark_stopped()

@@ -11,6 +11,7 @@ counts (slices are interchangeable thanks to MIG's hardware isolation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.utils.validation import ensure_positive_int
 
@@ -24,9 +25,22 @@ class GpuDevice:
     device_id: int
     total_vgpus: int = 7
     _used_vgpus: int = field(default=0, repr=False)
+    #: Invoked after every allocation-count change; the owning invoker hooks
+    #: this to keep the cluster's free-capacity index consistent even when a
+    #: caller mutates the device directly instead of going through
+    #: :meth:`Invoker.reserve` / :meth:`Invoker.release`.
+    _on_change: Callable[[], None] | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.total_vgpus, "total_vgpus")
+
+    def bind_on_change(self, callback: Callable[[], None] | None) -> None:
+        """Install the post-change notification callback."""
+        self._on_change = callback
+
+    def _notify(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
 
     @property
     def used_vgpus(self) -> int:
@@ -57,6 +71,7 @@ class GpuDevice:
                 f"only {self.available_vgpus} of {self.total_vgpus} available"
             )
         self._used_vgpus += vgpus
+        self._notify()
 
     def release(self, vgpus: int) -> None:
         """Release ``vgpus`` previously allocated slices."""
@@ -67,3 +82,4 @@ class GpuDevice:
                 f"only {self._used_vgpus} are allocated"
             )
         self._used_vgpus -= vgpus
+        self._notify()

@@ -5,11 +5,22 @@ number of vCPUs and one GPU partitioned into vGPUs (Table 2: 16 nodes, each
 with 16 vCPUs and one A100 split into up to 7 MIG instances).  The invoker
 tracks resource reservations of running tasks and the pool of containers
 (warm, busy, starting) for each function.
+
+Container and capacity state is maintained *incrementally*: the invoker
+keeps one live (non-stopped) container list and a resident-candidate count
+per function, updated by container lifecycle notifications, and reports
+capacity and container-population changes to the owning
+:class:`~repro.cluster.cluster.ClusterState` so cluster-wide queries (warm
+sets, free-capacity lookups, container counts) never have to rescan every
+node.  Queries iterate only live containers — a stopped container can never
+satisfy any residency predicate, so results are identical to scanning the
+full history.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.container import DEFAULT_KEEP_ALIVE_MS, Container, ContainerState
 from repro.cluster.gpu import GpuDevice
@@ -17,6 +28,10 @@ from repro.profiles.configuration import Configuration
 from repro.utils.validation import ensure_positive_int
 
 __all__ = ["Invoker"]
+
+#: States in which a container makes its function *resident* on the node
+#: (warm starts possible; tracked by the cluster's per-function warm index).
+_RESIDENT_STATES = (ContainerState.WARM, ContainerState.BUSY)
 
 
 @dataclass
@@ -31,11 +46,50 @@ class Invoker:
     gpu: GpuDevice = field(init=False)
     #: All containers ever created on this node, keyed by function name.
     _containers: dict[str, list[Container]] = field(default_factory=dict, repr=False)
+    #: Live (non-stopped) containers per function, in insertion order.
+    _live: dict[str, list[Container]] = field(default_factory=dict, repr=False)
+    #: Number of WARM/BUSY containers per function (warm-index candidates).
+    _resident_candidates: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Cluster callback: ``(invoker)`` after any free-capacity change.
+    _on_capacity_change: Callable[["Invoker"], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cluster callback: ``(invoker, function_name, live_delta)`` after any
+    #: change to the function's container population on this node.
+    _on_container_change: Callable[["Invoker", str, int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Set while reserve()/release() update both resources, so the GPU's own
+    #: change hook does not emit a second (half-updated) notification.
+    _suspend_capacity_notify: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.total_vcpus, "total_vcpus")
         ensure_positive_int(self.total_vgpus, "total_vgpus")
         self.gpu = GpuDevice(device_id=self.invoker_id, total_vgpus=self.total_vgpus)
+        self.gpu.bind_on_change(self._capacity_changed)
+
+    # ------------------------------------------------------------------
+    # Cluster wiring
+    # ------------------------------------------------------------------
+    def bind_cluster_callbacks(
+        self,
+        on_capacity_change: Callable[["Invoker"], None] | None,
+        on_container_change: Callable[["Invoker", str, int], None] | None,
+    ) -> None:
+        """Install the owning cluster's index-maintenance callbacks."""
+        self._on_capacity_change = on_capacity_change
+        self._on_container_change = on_container_change
+
+    def _capacity_changed(self) -> None:
+        if self._suspend_capacity_notify:
+            return
+        if self._on_capacity_change is not None:
+            self._on_capacity_change(self)
+
+    def _containers_changed(self, function_name: str, live_delta: int) -> None:
+        if self._on_container_change is not None:
+            self._on_container_change(self, function_name, live_delta)
 
     # ------------------------------------------------------------------
     # Resource accounting
@@ -71,8 +125,13 @@ class Invoker:
                 f"invoker {self.invoker_id}: cannot reserve {config.vcpus} vCPUs, "
                 f"only {self.available_vcpus} of {self.total_vcpus} available"
             )
-        self.gpu.allocate(config.vgpus)
+        self._suspend_capacity_notify = True
+        try:
+            self.gpu.allocate(config.vgpus)
+        finally:
+            self._suspend_capacity_notify = False
         self._used_vcpus += config.vcpus
+        self._capacity_changed()
 
     def release(self, config: Configuration) -> None:
         """Release resources previously reserved with :meth:`reserve`."""
@@ -81,8 +140,13 @@ class Invoker:
                 f"invoker {self.invoker_id}: cannot release {config.vcpus} vCPUs, "
                 f"only {self._used_vcpus} are reserved"
             )
-        self.gpu.release(config.vgpus)
+        self._suspend_capacity_notify = True
+        try:
+            self.gpu.release(config.vgpus)
+        finally:
+            self._suspend_capacity_notify = False
         self._used_vcpus -= config.vcpus
+        self._capacity_changed()
 
     # ------------------------------------------------------------------
     # Fragmentation / utilization metrics (used by baseline placement)
@@ -116,22 +180,26 @@ class Invoker:
     # ------------------------------------------------------------------
     def containers_for(self, function_name: str) -> list[Container]:
         """All (non-stopped) containers of ``function_name`` on this node."""
-        return [
-            c
-            for c in self._containers.get(function_name, [])
-            if c.state != ContainerState.STOPPED
-        ]
+        return list(self._live.get(function_name, ()))
+
+    def container_count(self, function_name: str) -> int:
+        """Number of live (non-stopped) containers of the function."""
+        return len(self._live.get(function_name, ()))
+
+    def resident_candidate_count(self, function_name: str) -> int:
+        """Number of WARM/BUSY containers of the function (warm-index state)."""
+        return self._resident_candidates.get(function_name, 0)
 
     def resident_container(self, function_name: str, now_ms: float) -> Container | None:
         """Return a resident (warm or busy) container for the function, or ``None``."""
-        for container in self._containers.get(function_name, []):
+        for container in self._live.get(function_name, ()):
             if container.is_resident(now_ms):
                 return container
         return None
 
     def warm_idle_container(self, function_name: str, now_ms: float) -> Container | None:
         """Return an idle warm container for the function, or ``None``."""
-        for container in self._containers.get(function_name, []):
+        for container in self._live.get(function_name, ()):
             if container.is_warm_idle(now_ms):
                 return container
         return None
@@ -144,7 +212,7 @@ class Invoker:
         """True if the function has a resident or starting container on this node."""
         if self.resident_container(function_name, now_ms) is not None:
             return True
-        for container in self._containers.get(function_name, []):
+        for container in self._live.get(function_name, ()):
             if container.state == ContainerState.STARTING:
                 return True
         return False
@@ -155,7 +223,35 @@ class Invoker:
             raise ValueError(
                 f"container belongs to invoker {container.invoker_id}, not {self.invoker_id}"
             )
-        self._containers.setdefault(container.function_name, []).append(container)
+        name = container.function_name
+        self._containers.setdefault(name, []).append(container)
+        if container.state != ContainerState.STOPPED:
+            self._live.setdefault(name, []).append(container)
+            if container.state in _RESIDENT_STATES:
+                self._resident_candidates[name] = self._resident_candidates.get(name, 0) + 1
+            container.bind_listener(self._container_state_changed)
+            self._containers_changed(name, +1)
+
+    def _container_state_changed(
+        self, container: Container, old: ContainerState, new: ContainerState
+    ) -> None:
+        """Keep the live list and resident-candidate counts consistent."""
+        name = container.function_name
+        delta = 0
+        if new == ContainerState.STOPPED:
+            live = self._live.get(name, [])
+            for index, candidate in enumerate(live):
+                if candidate is container:
+                    del live[index]
+                    delta = -1
+                    break
+            if old in _RESIDENT_STATES:
+                self._resident_candidates[name] = self._resident_candidates.get(name, 1) - 1
+        elif old == ContainerState.STARTING and new in _RESIDENT_STATES:
+            self._resident_candidates[name] = self._resident_candidates.get(name, 0) + 1
+        elif old in _RESIDENT_STATES and new in _RESIDENT_STATES:
+            return  # WARM <-> BUSY: no index change.
+        self._containers_changed(name, delta)
 
     def create_warm_container(self, function_name: str, now_ms: float) -> Container:
         """Create a container that is already warm (used for initial warm pools)."""
@@ -171,18 +267,18 @@ class Invoker:
 
     def expire_containers(self, now_ms: float) -> list[Container]:
         """Stop idle containers whose keep-alive elapsed; returns them."""
-        expired: list[Container] = []
-        for containers in self._containers.values():
-            for container in containers:
-                if container.is_expired(now_ms):
-                    container.mark_stopped()
-                    expired.append(container)
+        expired: list[Container] = [
+            container
+            for containers in self._live.values()
+            for container in containers
+            if container.is_expired(now_ms)
+        ]
+        for container in expired:
+            container.mark_stopped()
         return expired
 
     def warm_function_names(self, now_ms: float) -> list[str]:
         """Functions with at least one idle warm container on this node."""
         return sorted(
-            name
-            for name in self._containers
-            if self.has_warm_container(name, now_ms)
+            name for name in self._live if self.has_warm_container(name, now_ms)
         )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.cluster.cluster import ClusterState
 from repro.cluster.datatransfer import DataTransferModel
@@ -56,6 +56,12 @@ class AFWQueue:
     jobs: deque[Job] = field(default_factory=deque)
     #: How many controller rounds this queue has spent in the recheck list.
     recheck_rounds: int = 0
+    #: Controller hook called as ``(queue, delta)`` after every size change,
+    #: letting it maintain the non-empty-queue set and pending-job counter
+    #: without rescanning all queues per event.
+    size_listener: Callable[["AFWQueue", int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def key(self) -> tuple[str, str]:
@@ -72,6 +78,8 @@ class AFWQueue:
                 f"job for ({job.app_name}, {job.stage_id}) pushed to queue {self.key}"
             )
         self.jobs.append(job)
+        if self.size_listener is not None:
+            self.size_listener(self, 1)
 
     def pop_batch(self, batch_size: int) -> list[Job]:
         """Remove and return the ``batch_size`` oldest jobs."""
@@ -81,7 +89,10 @@ class AFWQueue:
             raise ValueError(
                 f"queue {self.key} holds {len(self.jobs)} jobs; cannot pop {batch_size}"
             )
-        return [self.jobs.popleft() for _ in range(batch_size)]
+        batch = [self.jobs.popleft() for _ in range(batch_size)]
+        if self.size_listener is not None:
+            self.size_listener(self, -batch_size)
+        return batch
 
     # ------------------------------------------------------------------
     # Read-only views (policies)

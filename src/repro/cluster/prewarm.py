@@ -152,7 +152,7 @@ class PrewarmManager:
         functions = sorted({fn for (_, fn) in self._demand})
         for fn in functions:
             desired = self.desired_warm_instances(fn)
-            resident = self._resident_count(cluster, fn, now_ms)
+            resident = cluster.resident_container_count(fn)
             missing = desired - resident
             if missing <= 0:
                 continue
@@ -183,21 +183,17 @@ class PrewarmManager:
     # Helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _resident_count(cluster: ClusterState, function_name: str, now_ms: float) -> int:
-        count = 0
-        for invoker in cluster:
-            for container in invoker.containers_for(function_name):
-                if container.state in (ContainerState.WARM, ContainerState.BUSY, ContainerState.STARTING):
-                    count += 1
-        return count
-
-    @staticmethod
     def _pick_invoker(cluster: ClusterState, function_name: str, now_ms: float) -> int | None:
-        """Choose a node for a new container: fewest containers of the function, then most free vGPUs."""
+        """Choose a node for a new container: fewest containers of the function, then most free vGPUs.
+
+        This linear walk only runs when a prewarm container is actually
+        launched (rare); the per-tick shortage check above it is the hot
+        path and is served by :meth:`ClusterState.resident_container_count`.
+        """
         best_id: int | None = None
         best_key: tuple[int, float] | None = None
         for invoker in cluster:
-            existing = len(invoker.containers_for(function_name))
+            existing = invoker.container_count(function_name)
             key = (existing, -invoker.available_vgpus)
             if best_key is None or key < best_key:
                 best_key = key

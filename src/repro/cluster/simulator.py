@@ -43,27 +43,57 @@ EventHook = Callable[["Simulation", Event], None]
 
 
 class EventLoop:
-    """A min-heap of events ordered by time (ties broken by insertion order)."""
+    """A min-heap of events ordered by time (ties broken by insertion order).
+
+    Housekeeping events (``event.housekeeping``, e.g. container-expiry
+    timers) are tracked separately: they are popped in global time order
+    like any other event, but the loop exposes :attr:`has_real` /
+    :meth:`peek_real_time` so the simulator can end a run — and apply the
+    horizon check — based only on *productive* events.  Without this, a
+    drained workload would be kept "running" for ten more simulated minutes
+    of keep-alive timers.
+    """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
+        #: Mirror heap of the (time, counter) keys of non-housekeeping events.
+        self._real_keys: list[tuple[float, int]] = []
         self._counter = itertools.count()
 
     def push(self, event: Event) -> None:
         """Schedule an event."""
-        heapq.heappush(self._heap, (event.time_ms, next(self._counter), event))
+        key = (event.time_ms, next(self._counter))
+        heapq.heappush(self._heap, (*key, event))
+        if not event.housekeeping:
+            heapq.heappush(self._real_keys, key)
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("event loop is empty")
-        return heapq.heappop(self._heap)[2]
+        time_ms, counter, event = heapq.heappop(self._heap)
+        if not event.housekeeping:
+            # The popped event is the global minimum, so when it is a real
+            # event it is also the minimum of the real-key mirror heap.
+            heapq.heappop(self._real_keys)
+        return event
 
     def peek_time(self) -> float:
         """Time of the earliest pending event."""
         if not self._heap:
             raise IndexError("event loop is empty")
         return self._heap[0][0]
+
+    def peek_real_time(self) -> float:
+        """Time of the earliest pending non-housekeeping event."""
+        if not self._real_keys:
+            raise IndexError("no productive event is pending")
+        return self._real_keys[0][0]
+
+    @property
+    def has_real(self) -> bool:
+        """True while a non-housekeeping event is pending."""
+        return bool(self._real_keys)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -266,13 +296,16 @@ class Simulation:
         The run stops early — marking the summary ``truncated`` — when the
         next pending event lies beyond ``max_time_ms`` (the event stays in
         the queue and ``now_ms`` never advances past the horizon) or when
-        ``max_events`` is exhausted.
+        ``max_events`` is exhausted.  Housekeeping events (container-expiry
+        timers) neither keep the run alive nor count toward the horizon:
+        the loop drains them only while productive events remain, exactly
+        like the per-tick expiry scan stops when the workload does.
         """
-        while not self.events.empty:
+        while self.events.has_real:
             if self._processed_events >= self.config.max_events:
                 self._truncated = True
                 break
-            if self.events.peek_time() > self.config.max_time_ms:
+            if self.events.peek_real_time() > self.config.max_time_ms:
                 self._truncated = True
                 for horizon_hook in self._horizon_hooks:
                     horizon_hook(self)
@@ -284,12 +317,17 @@ class Simulation:
                 # moment it is popped, no matter which handler processes it.
                 self._tick_scheduled = False
             self._dispatch(event)
-            self._processed_events += 1
+            # Housekeeping events are free: counting them against
+            # max_events (or the progress cadence) would make indexed runs
+            # (which schedule expiry timers) diverge from scan runs.
+            if not event.housekeeping:
+                self._processed_events += 1
             for event_hook in self._event_hooks:
                 event_hook(self, event)
-            for progress_hook, every in self._progress_hooks:
-                if self._processed_events % every == 0:
-                    progress_hook(self)
+            if not event.housekeeping:
+                for progress_hook, every in self._progress_hooks:
+                    if self._processed_events % every == 0:
+                        progress_hook(self)
             self._maybe_schedule_tick()
         self.metrics.truncated = self._truncated
         return self.metrics.summary()
@@ -310,7 +348,7 @@ class Simulation:
     # ------------------------------------------------------------------
     @property
     def processed_events(self) -> int:
-        """Number of events handled so far."""
+        """Number of productive (non-housekeeping) events handled so far."""
         return self._processed_events
 
     @property

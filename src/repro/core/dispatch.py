@@ -54,7 +54,7 @@ def locality_first_invoker(
         The selected invoker id, or ``None`` when no node can currently host
         the configuration.
     """
-    any_warm_elsewhere = bool(cluster.warm_invokers_for(function_name, now_ms))
+    any_warm_elsewhere = cluster.has_warm_invoker(function_name, now_ms)
 
     # 1. Predecessor's node (data locality).  If taking it would force a cold
     #    start while a warm container exists elsewhere, defer it: a multi-

@@ -44,6 +44,7 @@ class ESGPolicy(SchedulingPolicy):
         safety_margin: float = 0.12,
         max_paths: int = 5000,
         per_expansion_ms: float | None = 0.001,
+        plan_cache: bool = True,
         name: str | None = None,
     ) -> None:
         """Create the policy.
@@ -80,6 +81,17 @@ class ESGPolicy(SchedulingPolicy):
             is calibrated so the distribution lands in the paper's 3-8 ms
             range.  Pass ``None`` to fall back to the controller's
             wall-clock measurement of ``plan()``.
+        plan_cache:
+            Memoize :meth:`plan` keyed by the exact search inputs — the
+            queue-head signature ``(queue key, queue length)`` and the
+            pressure signature ``target_ms`` (the remaining-budget quota,
+            which already folds in every time- and urgency-dependent
+            input).  The ESG_1Q search is a pure function of those inputs,
+            so cache hits return byte-identical decisions (including the
+            modeled overhead); the controller's recheck retries within one
+            tick are the main beneficiary.  Only active when
+            ``per_expansion_ms`` models overhead deterministically —
+            wall-clock measurement mode always re-runs the search.
         name:
             Override the reported policy name (used by the ablation study).
         """
@@ -103,6 +115,8 @@ class ESGPolicy(SchedulingPolicy):
         if name is not None:
             self.name = name
         self._distributions: dict[str, SLODistribution] = {}
+        self._plan_cache_enabled = plan_cache and per_expansion_ms is not None
+        self._plan_cache: dict[tuple, SchedulingDecision] = {}
 
     # ------------------------------------------------------------------
     # SchedulingPolicy lifecycle
@@ -113,6 +127,11 @@ class ESGPolicy(SchedulingPolicy):
             name: distribute_slo(workflow, context.profile_store, group_size=self.group_size)
             for name, workflow in context.workflows.items()
         }
+        self.invalidate_plan_cache()
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop memoized plans (call after changing profiles or distributions)."""
+        self._plan_cache.clear()
 
     def distribution_for(self, app_name: str) -> SLODistribution:
         """The SLO distribution of an application (computed lazily if needed)."""
@@ -136,6 +155,17 @@ class ESGPolicy(SchedulingPolicy):
                 return preplanned
 
         group_stage_ids, target_ms = self._group_and_target(queue, now_ms)
+        cache_key: tuple | None = None
+        if self._plan_cache_enabled:
+            # The search is a pure function of (stage group, queue length,
+            # latency quota): the quota folds in the most urgent request's
+            # remaining budget (hence now_ms), and the queue length bounds
+            # the first stage's batch entries.  Profiles are immutable for
+            # the lifetime of a bound policy.
+            cache_key = (queue.app_name, queue.stage_id, len(queue), target_ms)
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
         stages = self._stage_specs(queue, group_stage_ids)
         result = esg_1q_search(
             stages, target_ms, k=self.k, max_paths=self.max_paths
@@ -143,11 +173,16 @@ class ESGPolicy(SchedulingPolicy):
         candidates = result.candidate_configs()
         best = result.best
         planned = best.as_plan(group_stage_ids) if best is not None else None
-        return SchedulingDecision(
+        decision = SchedulingDecision(
             candidates=candidates,
             planned_path=planned,
             reported_overhead_ms=self._modeled_overhead_ms(result.expansions),
         )
+        if cache_key is not None:
+            if len(self._plan_cache) >= 4096:
+                self._plan_cache.clear()
+            self._plan_cache[cache_key] = decision
+        return decision
 
     def _modeled_overhead_ms(self, expansions: int) -> float | None:
         """Deterministic overhead estimate (None = let the controller measure)."""

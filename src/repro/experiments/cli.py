@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Callable, Sequence
 
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.topology import parse_topology, topology_names
 from repro.experiments.ablation import render_figure12, run_figure12
 from repro.experiments.arrivals import render_figure5, run_figure5
 from repro.experiments.end_to_end import (
@@ -63,8 +66,42 @@ from repro.experiments.tables import render_table1, render_table2, render_table3
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(value: str) -> int:
+    """argparse type: a strictly positive integer (clean usage error otherwise)."""
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {number}")
+    return number
+
+
+def _topology_spec(value: str):
+    """argparse type wrapper surfacing parse_topology's informative errors."""
+    try:
+        return parse_topology(value)
+    except (ValueError, KeyError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cluster_from_args(args: argparse.Namespace) -> ClusterConfig:
+    """Resolve the ``--topology`` / ``--num-invokers`` cluster overrides."""
+    cluster = (
+        args.topology.to_cluster_config() if args.topology else ClusterConfig()
+    )
+    if args.num_invokers is not None:
+        cluster = replace(cluster, num_invokers=args.num_invokers)
+    return cluster
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(num_requests=args.requests, seed=args.seed)
+    # An explicit cluster flag pins the cluster shape: scenario-pinned
+    # topologies must not override it, even `--topology paper-16`.
+    pinned = bool(args.topology) or args.num_invokers is not None
+    return ExperimentConfig(
+        num_requests=args.requests,
+        seed=args.seed,
+        cluster=_cluster_from_args(args),
+        cluster_pinned=pinned,
+    )
 
 
 def _jobs(args: argparse.Namespace) -> int:
@@ -173,6 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="NAME",
         help="scenario for the 'compare' command (repeatable; see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--topology",
+        type=_topology_spec,
+        metavar="SPEC",
+        help="cluster topology: a registered name "
+        f"({', '.join(topology_names())}), an invoker count N, or NxCxG "
+        "(overrides the paper's 16x16x7 testbed; a scenario's pinned "
+        "topology applies only when this is left unset)",
+    )
+    parser.add_argument(
+        "--num-invokers",
+        type=_positive_int,
+        metavar="N",
+        help="shorthand override of the invoker count alone",
     )
     parser.add_argument(
         "--list-scenarios",

@@ -78,6 +78,10 @@ class ExperimentConfig:
     #: Simulated-time hard stop; inf (default) = run until the event queue
     #: drains.  A scenario's ``horizon_ms`` applies when this is left at inf.
     max_time_ms: float = float("inf")
+    #: True when ``cluster`` was set explicitly (e.g. by a CLI ``--topology``
+    #: flag): a scenario's pinned topology then never overrides it, even if
+    #: the explicit value happens to equal the paper default.
+    cluster_pinned: bool = False
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -208,6 +212,36 @@ def run_experiment(
     max_time_ms = config.max_time_ms
     if scenario is not None and scenario.horizon_ms is not None and max_time_ms == float("inf"):
         max_time_ms = scenario.horizon_ms
+    cluster_config = config.cluster
+    default_cluster = ClusterConfig()
+    shape_is_default = (
+        cluster_config.num_invokers == default_cluster.num_invokers
+        and cluster_config.vcpus_per_invoker == default_cluster.vcpus_per_invoker
+        and cluster_config.vgpus_per_invoker == default_cluster.vgpus_per_invoker
+    )
+    if (
+        scenario is not None
+        and scenario.topology is not None
+        and not config.cluster_pinned
+        and shape_is_default
+    ):
+        # Scenario-pinned cluster shape, applied when the experiment config
+        # leaves the cluster *shape* at the paper default (mirrors
+        # horizon_ms).  index_mode and keep_alive_ms are orthogonal knobs
+        # and carry over — e.g. a scan-mode parity run, or a short-keep-
+        # alive experiment, of a topology-pinned scenario still gets the
+        # pinned cluster size.  A topology's own non-default keep-alive
+        # wins over the config's.
+        topology = scenario.topology
+        keep_alive_ms = (
+            topology.keep_alive_ms
+            if topology.keep_alive_ms != default_cluster.keep_alive_ms
+            else cluster_config.keep_alive_ms
+        )
+        cluster_config = replace(
+            topology.to_cluster_config(index_mode=cluster_config.index_mode),
+            keep_alive_ms=keep_alive_ms,
+        )
     if requests is None:
         if scenario is not None:
             num_requests = scenario.num_requests or config.num_requests
@@ -231,7 +265,7 @@ def run_experiment(
         profile_store=profile_store,
         config=SimulationConfig(
             seed=config.seed,
-            cluster=config.cluster,
+            cluster=cluster_config,
             controller=config.controller,
             noise_sigma=config.noise_sigma,
             max_time_ms=max_time_ms,

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.cluster.topology import ClusterTopology
 
 from repro.profiles.profiler import ProfileStore
 from repro.utils.rng import derive_rng
@@ -98,6 +101,12 @@ class Scenario:
         RNG-stream label; defaults to the scenario name.  The ``paper-*``
         scenarios pin it to the setting name for byte-identity with the
         pre-scenario request builder.
+    topology:
+        Optional cluster shape — a registered
+        :class:`~repro.cluster.topology.ClusterTopology` name or object.
+        Applied by :func:`~repro.experiments.runner.run_experiment` when the
+        experiment config leaves the cluster at the paper default, so a
+        scenario can pin a non-paper cluster size without code edits.
     """
 
     name: str
@@ -109,10 +118,20 @@ class Scenario:
     num_requests: int | None = None
     horizon_ms: float | None = None
     stream: str | None = None
+    topology: "ClusterTopology | str | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
+        if isinstance(self.topology, str):
+            # Resolve eagerly (mirrors RunSpec's scenario-name resolution):
+            # a typo fails at construction, and the picklable object travels
+            # with the scenario to worker processes.  Imported lazily to
+            # keep the workloads package import-independent of the cluster
+            # package.
+            from repro.cluster.topology import get_topology
+
+            object.__setattr__(self, "topology", get_topology(self.topology))
         if self.setting not in WORKLOAD_SETTINGS:
             raise KeyError(
                 f"unknown workload setting {self.setting!r}; "

@@ -1,0 +1,195 @@
+"""Parity tests: indexed cluster queries vs. the scan-based reference path.
+
+The indexes (free-capacity buckets, per-function warm index, counters) must
+answer every cluster-wide query byte-identically to the original linear
+scans — under arbitrary interleavings of reservations, releases and
+container lifecycle transitions.  These tests drive an indexed and a
+scan-mode cluster through identical operation sequences and compare every
+query after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, ClusterState
+from repro.cluster.container import Container, ContainerState
+from repro.profiles.configuration import Configuration
+
+
+def make_pair(num_invokers: int = 8, keep_alive_ms: float = 100.0):
+    indexed = ClusterState(
+        config=ClusterConfig(
+            num_invokers=num_invokers, keep_alive_ms=keep_alive_ms, index_mode="indexed"
+        )
+    )
+    scan = ClusterState(
+        config=ClusterConfig(
+            num_invokers=num_invokers, keep_alive_ms=keep_alive_ms, index_mode="scan"
+        )
+    )
+    return indexed, scan
+
+
+QUERY_CONFIGS = [
+    Configuration(1, 1, 1),
+    Configuration(1, 4, 2),
+    Configuration(1, 8, 4),
+    Configuration(1, 16, 7),
+]
+
+
+def assert_query_parity(indexed: ClusterState, scan: ClusterState, now_ms: float) -> None:
+    for cfg in QUERY_CONFIGS:
+        assert [i.invoker_id for i in indexed.invokers_that_fit(cfg)] == [
+            i.invoker_id for i in scan.invokers_that_fit(cfg)
+        ]
+        a = indexed.most_available_invoker(cfg)
+        b = scan.most_available_invoker(cfg)
+        assert (a.invoker_id if a else None) == (b.invoker_id if b else None)
+        frag_key = lambda cpu, gpu: (gpu - cfg.vgpus, cpu - cfg.vcpus)  # noqa: E731
+        a = indexed.best_fitting_invoker(cfg, key=frag_key)
+        b = scan.best_fitting_invoker(cfg, key=frag_key)
+        assert (a.invoker_id if a else None) == (b.invoker_id if b else None)
+    for fn in ("classification", "deblur"):
+        assert [i.invoker_id for i in indexed.warm_invokers_for(fn, now_ms)] == [
+            i.invoker_id for i in scan.warm_invokers_for(fn, now_ms)
+        ]
+        assert indexed.has_warm_invoker(fn, now_ms) == scan.has_warm_invoker(fn, now_ms)
+        assert indexed.resident_container_count(fn) == scan.resident_container_count(fn)
+    assert indexed.total_available_vcpus() == scan.total_available_vcpus()
+    assert indexed.total_available_vgpus() == scan.total_available_vgpus()
+    assert indexed.cpu_utilization() == scan.cpu_utilization()
+    assert indexed.gpu_utilization() == scan.gpu_utilization()
+
+
+class TestIndexParityUnderRandomOperations:
+    def test_randomised_lifecycle_and_capacity_parity(self):
+        rng = random.Random(1234)
+        indexed, scan = make_pair()
+        reserved: list[Configuration] = []
+        containers: list[tuple[Container, Container]] = []
+        now = 0.0
+
+        for step in range(400):
+            now += rng.uniform(0.0, 30.0)
+            op = rng.random()
+            inv = rng.randrange(len(indexed))
+            if op < 0.30:
+                cfg = Configuration(1, rng.randint(1, 4), rng.randint(1, 3))
+                if indexed.invoker(inv).can_fit(cfg):
+                    indexed.invoker(inv).reserve(cfg)
+                    scan.invoker(inv).reserve(cfg)
+                    reserved.append((inv, cfg))
+            elif op < 0.50 and reserved:
+                inv, cfg = reserved.pop(rng.randrange(len(reserved)))
+                indexed.invoker(inv).release(cfg)
+                scan.invoker(inv).release(cfg)
+            elif op < 0.65:
+                fn = rng.choice(("classification", "deblur"))
+                a = indexed.invoker(inv).create_warm_container(fn, now)
+                b = scan.invoker(inv).create_warm_container(fn, now)
+                containers.append((a, b))
+            elif op < 0.80 and containers:
+                a, b = rng.choice(containers)
+                if a.state == ContainerState.WARM and a.is_warm_idle(now):
+                    a.assign_task()
+                    b.assign_task()
+            elif op < 0.90 and containers:
+                a, b = rng.choice(containers)
+                if a.active_tasks > 0:
+                    a.release_task(now, 100.0)
+                    b.release_task(now, 100.0)
+            else:
+                assert indexed.expire_containers(now) == scan.expire_containers(now)
+            assert_query_parity(indexed, scan, now)
+
+    def test_direct_gpu_mutation_keeps_capacity_index_fresh(self):
+        indexed, scan = make_pair(num_invokers=4)
+        # Bypass Invoker.reserve entirely: the GPU's change hook must still
+        # keep the bucket index consistent.
+        indexed.invoker(2).gpu.allocate(5)
+        scan.invoker(2).gpu.allocate(5)
+        assert_query_parity(indexed, scan, 0.0)
+        indexed.invoker(2).gpu.release(3)
+        scan.invoker(2).gpu.release(3)
+        assert_query_parity(indexed, scan, 0.0)
+
+
+class TestIndexBackedReturnTypes:
+    """Satellite: cluster queries serve tuples from indexes, not fresh lists."""
+
+    def test_fit_and_warm_queries_return_tuples(self):
+        cluster = ClusterState(config=ClusterConfig(num_invokers=3))
+        cluster.invoker(1).create_warm_container("deblur", 0.0)
+        assert isinstance(cluster.invokers_that_fit(Configuration(1, 1, 1)), tuple)
+        assert isinstance(cluster.warm_invokers_for("deblur", 0.0), tuple)
+        # Scan mode keeps the same (immutable) contract.
+        scan = ClusterState(config=ClusterConfig(num_invokers=3, index_mode="scan"))
+        assert isinstance(scan.invokers_that_fit(Configuration(1, 1, 1)), tuple)
+        assert isinstance(scan.warm_invokers_for("deblur", 0.0), tuple)
+
+    def test_empty_warm_index_returns_empty_tuple(self):
+        cluster = ClusterState(config=ClusterConfig(num_invokers=2))
+        assert cluster.warm_invokers_for("nothing-warm", 0.0) == ()
+        assert not cluster.has_warm_invoker("nothing-warm", 0.0)
+
+
+class TestIndexedCounters:
+    def test_live_and_resident_counts_follow_lifecycle(self):
+        cluster = ClusterState(config=ClusterConfig(num_invokers=2, keep_alive_ms=50.0))
+        inv = cluster.invoker(0)
+        assert cluster.resident_container_count("classification") == 0
+        container = inv.create_warm_container("classification", 0.0)
+        assert cluster.resident_container_count("classification") == 1
+        assert inv.resident_candidate_count("classification") == 1
+        container.assign_task()
+        assert cluster.resident_container_count("classification") == 1  # busy still counts
+        container.release_task(10.0, 50.0)
+        container.mark_stopped()
+        assert cluster.resident_container_count("classification") == 0
+        assert inv.resident_candidate_count("classification") == 0
+        assert inv.container_count("classification") == 0
+
+    def test_starting_container_counts_as_live_not_warm(self):
+        cluster = ClusterState(config=ClusterConfig(num_invokers=2))
+        inv = cluster.invoker(1)
+        starting = Container(
+            function_name="deblur", invoker_id=1, state=ContainerState.STARTING, warm_at_ms=500.0
+        )
+        inv.add_container(starting)
+        assert cluster.resident_container_count("deblur") == 1
+        assert not cluster.has_warm_invoker("deblur", 0.0)
+        starting.mark_warm(500.0, 1000.0)
+        assert cluster.has_warm_invoker("deblur", 600.0)
+
+    def test_capacity_bucket_heaps_stay_bounded_under_churn(self):
+        # Long runs reserve/release constantly; stale heap entries must be
+        # rebuilt away, not accumulate for the lifetime of the run.
+        cluster = ClusterState(config=ClusterConfig(num_invokers=4))
+        cfg = Configuration(1, 2, 1)
+        for _ in range(500):
+            cluster.invoker(1).reserve(cfg)
+            cluster.invoker(1).release(cfg)
+        total_heap_entries = sum(len(h) for h in cluster._capacity._heaps.values())
+        assert total_heap_entries <= 60  # O(invokers + stale slack), not O(churn)
+        best = cluster.most_available_invoker(cfg)
+        assert best is not None and best.invoker_id == 0
+
+    def test_capacity_counters_track_reservations(self):
+        cluster = ClusterState(config=ClusterConfig(num_invokers=3))
+        cluster.invoker(0).reserve(Configuration(1, 8, 3))
+        cluster.invoker(1).reserve(Configuration(1, 2, 1))
+        assert cluster.total_available_vcpus() == 3 * 16 - 10
+        assert cluster.total_available_vgpus() == 3 * 7 - 4
+        cluster.invoker(0).release(Configuration(1, 8, 3))
+        assert cluster.total_available_vcpus() == 3 * 16 - 2
+        assert cluster.total_available_vgpus() == 3 * 7 - 1
+
+
+class TestInvalidIndexMode:
+    def test_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(index_mode="magic")

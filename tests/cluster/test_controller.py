@@ -183,6 +183,144 @@ class TestRecheckAndForcedDispatch:
         assert len(sim.metrics.overhead_ms_samples) >= 6  # at least one per stage dispatch
 
 
+def _many_app_requests(num_apps: int, slo_ms: float = 500_000.0) -> list[Request]:
+    from repro.workloads.dag import Workflow
+
+    requests = []
+    for i in range(num_apps):
+        workflow = Workflow(name=f"app-{i:04d}")
+        workflow.add_stage("s1", "classification")
+        requests.append(
+            Request(
+                request_id=i,
+                workflow=workflow,
+                arrival_ms=1.0 + 0.01 * i,
+                slo_ms=slo_ms,
+            )
+        )
+    return requests
+
+
+def _standalone_controller(store, policy, index_mode: str, num_invokers: int = 1):
+    """A controller wired up outside a Simulation (events collected to a list)."""
+    from repro.cluster.cluster import ClusterState
+    from repro.cluster.controller import Controller
+    from repro.cluster.metrics import MetricsCollector
+    from repro.cluster.policy_api import SchedulingContext
+    from repro.profiles.perf_model import AnalyticalPerformanceModel
+
+    cluster = ClusterState(
+        config=ClusterConfig(num_invokers=num_invokers, index_mode=index_mode)
+    )
+    events: list = []
+    controller = Controller(
+        policy=policy,
+        cluster=cluster,
+        profile_store=store,
+        runtime_perf_model=AnalyticalPerformanceModel(),
+        pricing=store.pricing,
+        metrics=MetricsCollector(policy_name=policy.name, setting_name="test"),
+        event_sink=events.append,
+    )
+    policy.bind(
+        SchedulingContext(
+            profile_store=store,
+            cluster=cluster,
+            config_space=store.space,
+            pricing=store.pricing,
+            workflows={},
+        )
+    )
+    return controller, events
+
+
+class TestManyQueues:
+    """Recheck-list and dirty-set behaviour with hundreds of AFW queues."""
+
+    def test_hundreds_of_queues_park_in_recheck_and_force_dispatch(self, store):
+        # 300 single-stage apps, a policy whose plan never fits anywhere:
+        # every queue must park in the recheck list, age through
+        # recheck_rounds_before_min rounds, then drain via forced minimum
+        # dispatches — with the dirty-set bookkeeping settling to empty.
+        policy = RefusingPolicy()
+        controller, events = _standalone_controller(store, policy, "indexed", num_invokers=4)
+        for request in _many_app_requests(300):
+            controller.on_request_arrival(request, now_ms=1.0)
+        assert controller.pending_jobs() == 300
+        assert len(controller._nonempty) == 300
+
+        controller.run_scheduling_pass(now_ms=2.0)
+        assert len(controller._recheck) > 0  # most queues parked waiting
+        total_completions = 0
+        rounds = 0
+        while controller.has_pending_work() and rounds < 60:
+            now = 3.0 + rounds
+            controller.run_scheduling_pass(now_ms=now)
+            # Stand in for the event loop: complete dispatched tasks so their
+            # resources free up for the remaining parked queues (completions
+            # also arm keep-alive expiry timers, which we ignore here).
+            from repro.cluster.events import TaskCompletionEvent
+
+            completions = [e for e in events if isinstance(e, TaskCompletionEvent)]
+            total_completions += len(completions)
+            for event in completions:
+                controller.on_task_completion(event.task, now + 0.5)
+            events.clear()
+            rounds += 1
+        assert controller.pending_jobs() == 0
+        assert controller._nonempty == set()
+        assert controller._recheck == []
+        assert controller.metrics.forced_min_dispatches == 300
+        assert total_completions == 300  # one completion event per forced dispatch
+
+    def test_recheck_storm_is_byte_identical_to_scan_mode(self, store):
+        class DeterministicFixedPolicy(FixedConfigPolicy):
+            # Report a modeled overhead so the summary carries no wall-clock
+            # noise (measured overhead differs even between two scan runs).
+            def plan(self, queue, now_ms):
+                decision = super().plan(queue, now_ms)
+                decision.reported_overhead_ms = 0.0
+                return decision
+
+        def run(index_mode: str):
+            sim = build_simulation(
+                DeterministicFixedPolicy(Configuration(1, 8, 4)),
+                _many_app_requests(36),
+                store,
+                cluster=ClusterConfig(num_invokers=1, index_mode=index_mode),
+            )
+            summary = sim.run()
+            order = [(t.app_name, t.dispatch_ms, t.invoker_id) for t in sim.metrics.tasks]
+            return summary, order
+
+        indexed_summary, indexed_order = run("indexed")
+        scan_summary, scan_order = run("scan")
+        assert indexed_summary == scan_summary
+        assert indexed_order == scan_order
+        assert indexed_summary.forced_min_dispatches > 0  # storm actually happened
+
+    def test_pending_jobs_counter_and_dirty_set_follow_queue_mutations(self, store):
+        from repro.workloads.request import Job
+
+        controller, _ = _standalone_controller(store, RefusingPolicy(), "indexed")
+        requests = _many_app_requests(5)
+        for request in requests:
+            controller.register_workflow(request.workflow)
+        queue = controller.queue_for(requests[0].app_name, "s1")
+        assert controller.pending_jobs() == 0
+        queue.push(Job(request=requests[0], stage_id="s1", ready_ms=0.0))
+        queue.push(Job(request=requests[0], stage_id="s1", ready_ms=0.0))
+        assert controller.pending_jobs() == 2
+        assert queue.key in controller._nonempty
+        queue.pop_batch(1)
+        assert controller.pending_jobs() == 1
+        assert queue.key in controller._nonempty
+        queue.pop_batch(1)
+        assert controller.pending_jobs() == 0
+        assert queue.key not in controller._nonempty
+        assert not controller.has_pending_work()
+
+
 class TestSimulationGuards:
     def test_empty_request_list_rejected(self, store):
         with pytest.raises(ValueError):

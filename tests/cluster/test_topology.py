@@ -1,0 +1,238 @@
+"""Tests for cluster topologies: registry, parsing and scenario threading."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.topology import (
+    TOPOLOGIES,
+    ClusterTopology,
+    get_topology,
+    parse_topology,
+    register_topology,
+    topology_names,
+)
+from repro.workloads.scenarios import Scenario
+
+
+class TestTopology:
+    def test_builtins_cover_the_sweep_range(self):
+        names = topology_names()
+        assert "paper-16" in names
+        assert "datacenter-1024" in names
+        assert get_topology("paper-16").num_invokers == 16
+        assert get_topology("pod-256").num_invokers == 256
+        assert get_topology("datacenter-1024").total_vgpus == 1024 * 7
+
+    def test_to_cluster_config(self):
+        config = get_topology("rack-64").to_cluster_config()
+        assert config == ClusterConfig(num_invokers=64)
+        scan = get_topology("rack-64").to_cluster_config(index_mode="scan")
+        assert scan.index_mode == "scan"
+
+    def test_get_passes_objects_through(self):
+        topology = ClusterTopology(name="adhoc", num_invokers=3)
+        assert get_topology(topology) is topology
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(KeyError, match="paper-16"):
+            get_topology("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(name="", num_invokers=4)
+        with pytest.raises(ValueError):
+            ClusterTopology(name="bad", num_invokers=0)
+        with pytest.raises(ValueError):
+            ClusterTopology(name="bad", num_invokers=4, keep_alive_ms=0.0)
+
+    def test_register_refuses_silent_redefinition(self):
+        with pytest.raises(ValueError, match="replace=True"):
+            register_topology(ClusterTopology(name="paper-16", num_invokers=1))
+
+    def test_topologies_are_picklable(self):
+        topology = get_topology("pod-256")
+        assert pickle.loads(pickle.dumps(topology)) == topology
+
+
+class TestParseTopology:
+    def test_registered_name(self):
+        assert parse_topology("pod-256") is TOPOLOGIES.get("pod-256")
+
+    def test_bare_invoker_count(self):
+        topology = parse_topology("48")
+        assert topology.num_invokers == 48
+        assert topology.vcpus_per_invoker == 16  # paper per-node shape kept
+
+    def test_full_spec(self):
+        topology = parse_topology("128x8x4")
+        assert (topology.num_invokers, topology.vcpus_per_invoker, topology.vgpus_per_invoker) == (
+            128,
+            8,
+            4,
+        )
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="registered name"):
+            parse_topology("banana")
+        with pytest.raises(ValueError):
+            parse_topology("8x8")
+
+
+class TestScenarioTopology:
+    def test_scenario_resolves_topology_names_eagerly(self):
+        scenario = Scenario(
+            name="t-scale",
+            description="test",
+            setting="moderate-normal",
+            topology="pod-256",
+        )
+        assert isinstance(scenario.topology, ClusterTopology)
+        assert scenario.topology.num_invokers == 256
+
+    def test_unknown_topology_name_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            Scenario(
+                name="t-bad", description="test", setting="moderate-normal", topology="nope"
+            )
+
+    def test_scenario_with_topology_is_picklable(self):
+        scenario = Scenario(
+            name="t-pickle",
+            description="test",
+            setting="moderate-normal",
+            topology="rack-64",
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.topology == scenario.topology
+
+
+class TestRunnerAppliesScenarioTopology:
+    @pytest.fixture(scope="class")
+    def store(self):
+        from repro.experiments.runner import build_profile_store
+
+        return build_profile_store()
+
+    def test_scenario_topology_sizes_the_cluster(self, store):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        # Sanity anchor: on the paper's 16 nodes, ESG's home-invoker hashing
+        # spreads the four applications beyond nodes {0, 1}.
+        default = run_experiment(
+            "ESG", "moderate-normal", config=ExperimentConfig(num_requests=6), profile_store=store
+        )
+        assert max(t.invoker_id for t in default.metrics.tasks) > 1
+
+        scenario = Scenario(
+            name="t-mini-cluster",
+            description="test",
+            setting="moderate-normal",
+            stream="moderate-normal",
+            topology=ClusterTopology(name="mini", num_invokers=2),
+        )
+        result = run_experiment(
+            "ESG",
+            config=ExperimentConfig(num_requests=6),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert max(t.invoker_id for t in result.metrics.tasks) <= 1
+
+    def test_explicit_cluster_config_beats_scenario_topology(self, store):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        scenario = Scenario(
+            name="t-overridden",
+            description="test",
+            setting="moderate-normal",
+            stream="moderate-normal",
+            topology=ClusterTopology(name="mini", num_invokers=2),
+        )
+        result = run_experiment(
+            "ESG",
+            config=ExperimentConfig(
+                num_requests=6, cluster=ClusterConfig(num_invokers=8)
+            ),
+            profile_store=store,
+            scenario=scenario,
+        )
+        # The explicit (non-default) cluster config wins over the scenario's
+        # pinned topology, so placement spreads past the 2-node mini cluster.
+        assert max(t.invoker_id for t in result.metrics.tasks) > 1
+
+    def test_scenario_topology_applies_in_scan_mode_too(self, store):
+        # index_mode is orthogonal to the cluster *shape*: a scan-mode
+        # parity run of a topology-pinned scenario must use the pinned size
+        # (and keep scan mode), or indexed-vs-scan comparisons would
+        # silently compare different clusters.
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        scenario = Scenario(
+            name="t-scan-topology",
+            description="test",
+            setting="moderate-normal",
+            stream="moderate-normal",
+            topology=ClusterTopology(name="mini", num_invokers=2),
+        )
+        indexed = run_experiment(
+            "ESG",
+            config=ExperimentConfig(num_requests=6),
+            profile_store=store,
+            scenario=scenario,
+        )
+        scan = run_experiment(
+            "ESG",
+            config=ExperimentConfig(num_requests=6, cluster=ClusterConfig(index_mode="scan")),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert max(t.invoker_id for t in scan.metrics.tasks) <= 1
+        assert indexed.summary == scan.summary
+
+    def test_orthogonal_keep_alive_override_composes_with_scenario_topology(self, store):
+        # keep_alive_ms is not part of the cluster *shape*: tuning it must
+        # not silently disable the scenario's pinned topology.
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        scenario = Scenario(
+            name="t-keepalive-topology",
+            description="test",
+            setting="moderate-normal",
+            stream="moderate-normal",
+            topology=ClusterTopology(name="mini", num_invokers=2),
+        )
+        result = run_experiment(
+            "ESG",
+            config=ExperimentConfig(
+                num_requests=6, cluster=ClusterConfig(keep_alive_ms=30_000.0)
+            ),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert max(t.invoker_id for t in result.metrics.tasks) <= 1
+
+    def test_cluster_pinned_flag_beats_scenario_topology_even_at_the_default(self, store):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        scenario = Scenario(
+            name="t-pinned-default",
+            description="test",
+            setting="moderate-normal",
+            stream="moderate-normal",
+            topology=ClusterTopology(name="mini", num_invokers=2),
+        )
+        # `--topology paper-16` on the CLI resolves to the default-shaped
+        # ClusterConfig; the pinned flag must still make it win.
+        result = run_experiment(
+            "ESG",
+            config=ExperimentConfig(
+                num_requests=6, cluster=ClusterConfig(), cluster_pinned=True
+            ),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert max(t.invoker_id for t in result.metrics.tasks) > 1

@@ -27,6 +27,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
 
+    def test_topology_and_num_invokers_options(self):
+        from repro.cluster.cluster import ClusterConfig
+        from repro.experiments.cli import _cluster_from_args
+
+        args = build_parser().parse_args(["fig6"])
+        assert _cluster_from_args(args) == ClusterConfig()
+
+        args = build_parser().parse_args(["fig6", "--topology", "pod-256"])
+        assert _cluster_from_args(args).num_invokers == 256
+
+        args = build_parser().parse_args(["fig6", "--topology", "32x8x4"])
+        cluster = _cluster_from_args(args)
+        assert (cluster.num_invokers, cluster.vcpus_per_invoker, cluster.vgpus_per_invoker) == (
+            32,
+            8,
+            4,
+        )
+
+        args = build_parser().parse_args(["fig6", "--num-invokers", "48"])
+        assert _cluster_from_args(args).num_invokers == 48
+
+        # --num-invokers refines a named topology's node count.
+        args = build_parser().parse_args(
+            ["fig6", "--topology", "pod-256", "--num-invokers", "12"]
+        )
+        assert _cluster_from_args(args).num_invokers == 12
+
+    def test_invalid_topology_and_invoker_count_fail_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--topology", "bogus"])
+        assert "registered name" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--num-invokers", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
 
 class TestMain:
     def test_tables_command_prints_tables(self, capsys):

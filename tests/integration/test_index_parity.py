@@ -1,0 +1,90 @@
+"""Acceptance parity: indexed cluster core vs. the scan-based reference path.
+
+The tentpole guarantee of the scale-out refactor: switching
+``ClusterConfig.index_mode`` between ``"indexed"`` (incremental indexes,
+event-driven expiry, dirty-queue scheduling, memoized ESG plans) and
+``"scan"`` (the pre-refactor linear scans) changes *performance only* —
+every RunSummary is byte-identical, on the paper-default scenarios, for
+every policy, across worker processes and spawn contexts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_profile_store,
+    run_experiment,
+)
+
+PAPER_SCENARIOS = (
+    "paper-strict-light",
+    "paper-moderate-normal",
+    "paper-relaxed-heavy",
+)
+
+INDEXED = ExperimentConfig(num_requests=16)
+SCAN = ExperimentConfig(num_requests=16, cluster=ClusterConfig(index_mode="scan"))
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_profile_store()
+
+
+class TestIndexedVsScanSummaries:
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS)
+    def test_esg_paper_scenarios_byte_identical(self, store, scenario):
+        indexed = run_experiment("ESG", config=INDEXED, profile_store=store, scenario=scenario)
+        scan = run_experiment("ESG", config=SCAN, profile_store=store, scenario=scenario)
+        assert indexed.summary == scan.summary
+
+    @pytest.mark.parametrize("policy", [p for p in DEFAULT_POLICIES if p != "ESG"])
+    def test_baselines_byte_identical(self, store, policy):
+        indexed = run_experiment(
+            policy, config=INDEXED, profile_store=store, scenario="paper-moderate-normal"
+        )
+        scan = run_experiment(
+            policy, config=SCAN, profile_store=store, scenario="paper-moderate-normal"
+        )
+        assert indexed.summary == scan.summary
+
+    def test_esg_plan_cache_off_matches_cache_on(self, store):
+        cached = run_experiment(
+            "ESG", "moderate-normal", config=INDEXED, profile_store=store
+        ).summary
+        uncached_policy = __import__("repro.core.esg", fromlist=["ESGPolicy"]).ESGPolicy(
+            plan_cache=False
+        )
+        uncached = run_experiment(
+            uncached_policy, "moderate-normal", config=INDEXED, profile_store=store
+        ).summary
+        assert cached == uncached
+
+
+class TestEngineParityAcrossModes:
+    """Index mode composes with the engine's n_jobs / spawn guarantees."""
+
+    def _specs(self, config: ExperimentConfig) -> list[RunSpec]:
+        return [
+            RunSpec(
+                policy="ESG", scenario=scenario, config=config, summary_only=True
+            )
+            for scenario in PAPER_SCENARIOS
+        ]
+
+    def test_scan_mode_specs_in_workers_match_indexed_in_process(self):
+        indexed = ExperimentEngine(n_jobs=1).run(self._specs(INDEXED))
+        scan_parallel = ExperimentEngine(n_jobs=4).run(self._specs(SCAN))
+        for a, b in zip(indexed, scan_parallel):
+            assert a.summary == b.summary
+
+    def test_spawn_context_reproduces_indexed_summaries(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs(INDEXED))
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(self._specs(INDEXED))
+        for a, b in zip(in_process, spawned):
+            assert a.summary == b.summary
