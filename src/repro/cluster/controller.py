@@ -207,7 +207,12 @@ class Controller:
 
         for job in task.jobs:
             request = job.request
+            was_complete = request.is_complete
             request.record_stage_completion(task.stage_id, now_ms, task.invoker_id)
+            if request.is_complete and not was_complete:
+                # Exactly-once completion notification: retained collectors
+                # ignore it, streaming collectors fold the latency sample.
+                self.metrics.record_completion(request)
             for succ in request.workflow.successors(task.stage_id):
                 if request.stage_is_ready(succ):
                     queue = self.queue_for(request.app_name, succ)

@@ -17,7 +17,7 @@ from repro.cluster.cluster import ClusterConfig, ClusterState
 from repro.cluster.controller import Controller, ControllerConfig
 from repro.cluster.datatransfer import DataTransferModel
 from repro.cluster.events import Event, RequestArrivalEvent, SchedulerTickEvent
-from repro.cluster.metrics import MetricsCollector, RunSummary
+from repro.cluster.metrics import MetricsCollector, MetricsConfig, RunSummary
 from repro.cluster.policy_api import SchedulingContext, SchedulingPolicy
 from repro.cluster.prewarm import PrewarmManager
 from repro.profiles.configuration import ConfigurationSpace
@@ -116,6 +116,9 @@ class SimulationConfig:
     max_time_ms: float = float("inf")
     #: Safety valve on the number of processed events.
     max_events: int = 5_000_000
+    #: How the run's metrics are stored: retained object lists (default) or
+    #: streaming per-app accumulators.  Summaries are byte-identical.
+    metrics: MetricsConfig = field(default_factory=MetricsConfig)
 
     def __post_init__(self) -> None:
         if self.noise_sigma < 0:
@@ -156,7 +159,12 @@ class Simulation:
         self.requests = list(requests)
         self.profile_store = profile_store
         self.cluster = ClusterState(config=self.config.cluster)
-        self.metrics = MetricsCollector(policy_name=policy.name, setting_name=setting_name)
+        self.metrics = MetricsCollector(
+            policy_name=policy.name,
+            setting_name=setting_name,
+            config=self.config.metrics,
+            horizon_ms=self.config.max_time_ms,
+        )
         self.events = EventLoop()
         self.now_ms = 0.0
         self._tick_scheduled = False

@@ -33,6 +33,7 @@ from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.cluster.cluster import ClusterConfig
+from repro.cluster.metrics import METRICS_MODES, MetricsConfig
 from repro.cluster.topology import parse_topology, topology_names
 from repro.experiments.ablation import render_figure12, run_figure12
 from repro.experiments.arrivals import render_figure5, run_figure5
@@ -101,6 +102,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         cluster=_cluster_from_args(args),
         cluster_pinned=pinned,
+        metrics=MetricsConfig(mode=args.metrics_mode),
     )
 
 
@@ -225,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         metavar="N",
         help="shorthand override of the invoker count alone",
+    )
+    parser.add_argument(
+        "--metrics-mode",
+        choices=METRICS_MODES,
+        default="retained",
+        help="metrics storage: 'retained' keeps every request/task object "
+        "(default, debuggable), 'streaming' folds observations into compact "
+        "accumulators at record time (byte-identical summaries; the metrics "
+        "layer stays compact on large --requests runs — the workload itself "
+        "still scales with the request count)",
     )
     parser.add_argument(
         "--list-scenarios",

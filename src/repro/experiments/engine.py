@@ -22,7 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.cluster.metrics import MetricsCollector
+from repro.cluster.metrics import MetricsCollector, MetricsConfig
 from repro.cluster.policy_api import SchedulingPolicy
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -33,6 +33,7 @@ from repro.experiments.runner import (
 )
 from repro.profiles.configuration import ConfigurationSpace
 from repro.profiles.profiler import ProfileStore
+from repro.utils.validation import find_duplicates
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadSetting
 from repro.workloads.scenarios import Scenario, get_scenario
 
@@ -58,9 +59,12 @@ class RunSpec:
     policy_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Optional bookkeeping label (e.g. an ablation variant name).
     label: str | None = None
-    #: When True the result carries only the :class:`RunSummary` (empty
-    #: ``requests``/``metrics``): sweeps that read a few summary scalars
-    #: avoid shipping every request object back over worker IPC.
+    #: When True the run executes with a *streaming* metrics collector (no
+    #: request/task object is ever retained in the worker) and the result
+    #: carries only the :class:`RunSummary` plus an explicit placeholder
+    #: collector (``metrics.placeholder`` is True, counters and ``truncated``
+    #: mirror the summary): sweeps that read a few summary scalars avoid
+    #: both worker-side retention and shipping request objects over IPC.
     summary_only: bool = False
     #: A registered scenario name or a :class:`Scenario` object (mutually
     #: exclusive with ``setting``).  Names are resolved against the global
@@ -131,12 +135,23 @@ def execute_spec(spec: RunSpec) -> RunResult:
     """Execute one spec and return its full result.
 
     Module-level (not a method) so it is picklable as a process-pool task.
+
+    ``summary_only`` specs run with a *streaming* metrics collector: the
+    worker folds every observation into accumulators at record time instead
+    of materialising request/task lists it would only throw away.  Summaries
+    are byte-identical across collector modes, so this is purely a memory
+    optimisation.  The result's ``metrics`` is an explicit placeholder
+    (:meth:`MetricsCollector.placeholder_from_summary`) whose counters and
+    ``truncated`` flag agree with the attached summary.
     """
-    store = _profile_store_for(spec.config.space)
+    config = spec.config
+    if spec.summary_only and config.metrics.mode != "streaming":
+        config = config.with_overrides(metrics=MetricsConfig(mode="streaming"))
+    store = _profile_store_for(config.space)
     result = run_experiment(
         spec.build_policy(),
         spec.setting,
-        config=spec.config,
+        config=config,
         profile_store=store,
         scenario=spec.scenario,
     )
@@ -145,9 +160,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
             policy_name=result.policy_name,
             setting=result.setting,
             summary=result.summary,
-            metrics=MetricsCollector(
-                policy_name=result.policy_name, setting_name=result.setting.name
-            ),
+            metrics=MetricsCollector.placeholder_from_summary(result.summary),
             requests=[],
             scenario_name=result.scenario_name,
         )
@@ -201,10 +214,31 @@ class ExperimentEngine:
         setting name otherwise; the policy name is the *reported* one
         (``result.policy_name``), so overrides that rename a policy — e.g.
         ablation variants — key distinct cells.
+
+        Two specs that map to the same cell would silently overwrite each
+        other (a classic ablation-sweep footgun: two variants of a policy
+        without a ``name`` override).  Colliding cells raise a
+        :class:`ValueError` *before* any simulation runs — the reported name
+        is determined by the spec's constructor overrides, so it can be
+        checked by building the (cheap, unbound) policy objects up front.
         """
         spec_list = list(specs)
+        keys = [(spec.workload_name, spec.build_policy().name) for spec in spec_list]
+        collisions = find_duplicates(keys)
+        if collisions:
+            cells = ", ".join(f"({workload!r}, {policy!r})" for workload, policy in collisions)
+            raise ValueError(
+                "run_keyed would silently overwrite results for colliding "
+                f"cells: {cells}; give each variant a distinct reported name "
+                "via policy_overrides={'name': ...} (or distinct workloads)"
+            )
         results = self.run(spec_list)
-        return {
-            (spec.workload_name, result.policy_name): result
-            for spec, result in zip(spec_list, results)
-        }
+        keyed: dict[tuple[str, str], RunResult] = {}
+        for spec, result in zip(spec_list, results):
+            key = (spec.workload_name, result.policy_name)
+            if key in keyed:
+                # Defensive: a policy whose reported name diverges from its
+                # construction-time name would bypass the pre-run check.
+                raise ValueError(f"duplicate result cell {key!r}")
+            keyed[key] = result
+        return keyed

@@ -18,13 +18,14 @@ from repro.baselines.infless import INFlessPolicy
 from repro.baselines.orion import OrionPolicy
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.controller import ControllerConfig
-from repro.cluster.metrics import MetricsCollector, RunSummary
+from repro.cluster.metrics import MetricsCollector, MetricsConfig, RunSummary
 from repro.cluster.policy_api import SchedulingPolicy
 from repro.cluster.simulator import Simulation, SimulationConfig
 from repro.core.esg import ESGPolicy
 from repro.profiles.configuration import ConfigurationSpace
 from repro.profiles.profiler import ProfileStore
 from repro.utils.rng import derive_rng
+from repro.utils.validation import find_duplicates
 from repro.workloads.applications import build_paper_applications
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadGenerator, WorkloadSetting
 from repro.workloads.request import Request
@@ -82,6 +83,10 @@ class ExperimentConfig:
     #: flag): a scenario's pinned topology then never overrides it, even if
     #: the explicit value happens to equal the paper default.
     cluster_pinned: bool = False
+    #: Metrics storage mode: retained object lists (default, debuggable) or
+    #: streaming accumulators (constant-size state per app, for very large
+    #: runs).  Summaries are byte-identical across modes.
+    metrics: MetricsConfig = field(default_factory=MetricsConfig)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -269,6 +274,7 @@ def run_experiment(
             controller=config.controller,
             noise_sigma=config.noise_sigma,
             max_time_ms=max_time_ms,
+            metrics=config.metrics,
         ),
         setting_name=setting.name,
     )
@@ -339,6 +345,28 @@ def run_matrix(
         raise ValueError(
             "run_matrix with n_jobs != 1 requires policy names (strings); "
             "live policy objects cannot be shipped to worker processes"
+        )
+    # Same guarantee as ExperimentEngine.run_keyed, checked before any
+    # simulation runs: never let two matrix cells silently overwrite.
+    # (Names only are taken from these throwaway builds — the loop below
+    # still constructs a fresh policy per cell for string entries, because
+    # policies accumulate run state.)
+    duplicates = find_duplicates(
+        (make_policy(policy) if isinstance(policy, str) else policy).name
+        for policy in policy_list
+    )
+    if duplicates:
+        raise ValueError(
+            "run_matrix would silently overwrite result cells for duplicate "
+            f"policy names: {', '.join(repr(n) for n in duplicates)}; "
+            "give each policy variant a distinct name"
+        )
+    duplicate_settings = find_duplicates(setting.name for setting in setting_objs)
+    if duplicate_settings:
+        raise ValueError(
+            "run_matrix would silently overwrite result cells for duplicate "
+            f"setting names: {', '.join(repr(n) for n in duplicate_settings)}; "
+            "give each setting a distinct name"
         )
     profile_store = build_profile_store(config.space)
     results: dict[tuple[str, str], RunResult] = {}

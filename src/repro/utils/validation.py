@@ -7,6 +7,7 @@ __all__ = [
     "ensure_positive_int",
     "ensure_non_negative",
     "ensure_in_range",
+    "find_duplicates",
 ]
 
 
@@ -38,3 +39,18 @@ def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
     if not low <= value <= high:
         raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
     return float(value)
+
+
+def find_duplicates(items) -> list:
+    """Items appearing more than once, in first-duplicate order.
+
+    Single linear pass (hashable items); used by the experiment sweeps to
+    refuse result keys that would silently overwrite each other.
+    """
+    seen: set = set()
+    duplicates: list = []
+    for item in items:
+        if item in seen and item not in duplicates:
+            duplicates.append(item)
+        seen.add(item)
+    return duplicates

@@ -100,6 +100,62 @@ class TestExperimentEngine:
         keyed = ExperimentEngine(n_jobs=1).run_keyed(specs)
         assert set(keyed) == {("strict-light", "ESG w/o batching")}
 
+    def test_run_keyed_rejects_colliding_cells(self):
+        """Two ablation variants without a rename must not silently
+        overwrite each other; the error names the colliding cell."""
+        specs = [
+            RunSpec(policy="ESG", setting="strict-light", config=SMALL),
+            RunSpec(
+                policy="ESG",
+                setting="strict-light",
+                config=SMALL,
+                policy_overrides={"batching": False},  # forgot to rename
+            ),
+        ]
+        with pytest.raises(ValueError, match=r"\('strict-light', 'ESG'\)"):
+            ExperimentEngine(n_jobs=1).run_keyed(specs)
+
+    def test_run_keyed_accepts_renamed_variants(self):
+        specs = [
+            RunSpec(policy="ESG", setting="strict-light", config=SMALL),
+            RunSpec(
+                policy="ESG",
+                setting="strict-light",
+                config=SMALL,
+                policy_overrides={"batching": False, "name": "ESG w/o batching"},
+            ),
+        ]
+        keyed = ExperimentEngine(n_jobs=1).run_keyed(specs)
+        assert set(keyed) == {
+            ("strict-light", "ESG"),
+            ("strict-light", "ESG w/o batching"),
+        }
+
+
+class TestSummaryOnlyPlaceholder:
+    def test_placeholder_metrics_agree_with_the_summary(self):
+        spec = RunSpec(
+            policy="INFless", setting="moderate-normal", config=SMALL, summary_only=True
+        )
+        result = execute_spec(spec)
+        metrics = result.metrics
+        assert metrics.placeholder
+        assert metrics.truncated == result.summary.truncated
+        assert metrics.cold_starts == result.summary.cold_starts
+        assert metrics.warm_starts == result.summary.warm_starts
+        assert metrics.plan_attempts == result.summary.plan_attempts
+        assert metrics.policy_name == result.policy_name
+        assert result.requests == []
+
+    def test_placeholder_reflects_truncated_runs(self):
+        config = SMALL.with_overrides(num_requests=30, max_time_ms=200.0)
+        spec = RunSpec(
+            policy="INFless", setting="moderate-normal", config=config, summary_only=True
+        )
+        result = execute_spec(spec)
+        assert result.summary.truncated
+        assert result.metrics.truncated  # used to contradict the summary
+
 
 class TestParallelParity:
     def test_full_matrix_parallel_summaries_identical_to_sequential(self):

@@ -1,0 +1,116 @@
+"""Acceptance parity: streaming metrics accumulators vs. retained object scans.
+
+The tentpole guarantee of the metrics refactor: switching
+``MetricsConfig.mode`` between ``"retained"`` (every Request/Task object
+kept and re-scanned) and ``"streaming"`` (per-app accumulators folded at
+record time, no objects retained) changes *memory behaviour only* — every
+RunSummary is byte-identical, for every policy, on the paper scenarios,
+across worker processes and spawn contexts, including truncated-horizon
+runs where the resource-time clamp applies.  This mirrors the
+``index_mode="scan"`` precedent from the cluster-core refactor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import MetricsConfig
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_profile_store,
+    run_experiment,
+)
+
+PAPER_SCENARIOS = (
+    "paper-strict-light",
+    "paper-moderate-normal",
+    "paper-relaxed-heavy",
+)
+
+RETAINED = ExperimentConfig(num_requests=16)
+STREAMING = ExperimentConfig(num_requests=16, metrics=MetricsConfig(mode="streaming"))
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_profile_store()
+
+
+class TestStreamingVsRetainedSummaries:
+    """The full acceptance matrix: 5 policies x 3 paper scenarios."""
+
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS)
+    @pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+    def test_policy_scenario_byte_identical(self, store, policy, scenario):
+        retained = run_experiment(
+            policy, config=RETAINED, profile_store=store, scenario=scenario
+        )
+        streaming = run_experiment(
+            policy, config=STREAMING, profile_store=store, scenario=scenario
+        )
+        assert retained.summary == streaming.summary
+
+    def test_streaming_collector_retains_no_objects(self, store):
+        result = run_experiment(
+            "ESG", config=STREAMING, profile_store=store, scenario="paper-strict-light"
+        )
+        assert result.metrics.is_streaming
+        assert result.metrics.requests == []
+        assert result.metrics.tasks == []
+        # ... while the derived accessors still serve the figure modules.
+        assert result.metrics.app_names()
+        assert result.metrics.latencies_ms()
+
+    def test_truncated_horizon_runs_stay_identical(self, store):
+        """The resource-time clamp is applied identically by both modes."""
+        retained_cfg = RETAINED.with_overrides(num_requests=40, max_time_ms=300.0)
+        streaming_cfg = retained_cfg.with_overrides(
+            metrics=MetricsConfig(mode="streaming")
+        )
+        retained = run_experiment(
+            "ESG", "moderate-normal", config=retained_cfg, profile_store=store
+        )
+        streaming = run_experiment(
+            "ESG", "moderate-normal", config=streaming_cfg, profile_store=store
+        )
+        assert retained.summary.truncated
+        assert retained.summary == streaming.summary
+
+
+class TestEngineParityAcrossModes:
+    """Metrics mode composes with the engine's n_jobs / spawn guarantees."""
+
+    def _specs(self, config: ExperimentConfig) -> list[RunSpec]:
+        return [
+            RunSpec(policy="ESG", scenario=scenario, config=config)
+            for scenario in PAPER_SCENARIOS
+        ]
+
+    def test_streaming_specs_in_workers_match_retained_in_process(self):
+        retained = ExperimentEngine(n_jobs=1).run(self._specs(RETAINED))
+        streaming_parallel = ExperimentEngine(n_jobs=4).run(self._specs(STREAMING))
+        for a, b in zip(retained, streaming_parallel):
+            assert a.summary == b.summary
+
+    def test_spawn_context_reproduces_streaming_summaries(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs(STREAMING))
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(
+            self._specs(STREAMING)
+        )
+        for a, b in zip(in_process, spawned):
+            assert a.summary == b.summary
+
+    def test_summary_only_auto_streaming_matches_full_retained_runs(self):
+        """summary_only silently upgrades workers to streaming collectors;
+        the reported summaries must still equal the retained full runs."""
+        full = ExperimentEngine(n_jobs=1).run(self._specs(RETAINED))
+        summary_only = ExperimentEngine(n_jobs=2).run(
+            [
+                RunSpec(policy="ESG", scenario=scenario, config=RETAINED, summary_only=True)
+                for scenario in PAPER_SCENARIOS
+            ]
+        )
+        for a, b in zip(full, summary_only):
+            assert a.summary == b.summary
