@@ -193,6 +193,7 @@ class _AppAccumulator:
         "request_ids",
         "latency_ms",
         "latency_stats",
+        "slo_ms",
     )
 
     def __init__(self) -> None:
@@ -204,6 +205,9 @@ class _AppAccumulator:
         self.request_ids = array("q")
         self.latency_ms = array("d")
         self.latency_stats = RunningStats()
+        #: SLO budget of the first registered request (all requests of one
+        #: application share one SLO within a run); None until one arrives.
+        self.slo_ms: float | None = None
 
     def fold_completion(self, request: Request) -> None:
         latency = request.latency_ms
@@ -372,7 +376,10 @@ class MetricsCollector:
         self._check_not_placeholder()
         if self.is_streaming:
             self._total.registered += 1
-            self._app(request.app_name).registered += 1
+            acc = self._app(request.app_name)
+            acc.registered += 1
+            if acc.slo_ms is None:
+                acc.slo_ms = request.slo_ms
             if request.is_complete:
                 # Synthetic feeds may register pre-completed requests; fold
                 # them now (record_completion must then not be called again).
@@ -494,6 +501,24 @@ class MetricsCollector:
             acc = self._total if app_name is None else self._per_app.get(app_name)
             return acc.completed if acc is not None else 0
         return len(self.completed_requests(app_name))
+
+    def app_slo_ms(self, app_name: str) -> float | None:
+        """SLO budget of ``app_name``'s requests in this run (None if unseen).
+
+        Every request of one application carries the same SLO within a run
+        (setting factor x the app's base latency), so the first registered
+        request's value stands for the app.  Served in both modes — in
+        streaming mode no ``Request`` object survives, so the figure
+        modules must read the SLO here rather than from a request list.
+        """
+        self._check_not_placeholder()
+        if self.is_streaming:
+            acc = self._per_app.get(app_name)
+            return acc.slo_ms if acc is not None else None
+        for request in self.requests:
+            if request.app_name == app_name:
+                return request.slo_ms
+        return None
 
     def slo_hit_rate(self, app_name: str | None = None) -> float:
         """Fraction of *all* registered requests that completed within SLO."""

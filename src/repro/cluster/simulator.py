@@ -31,6 +31,7 @@ from repro.profiles.profiler import ProfileStore
 from repro.utils.rng import derive_rng
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Request
+from repro.workloads.stream import RequestStream
 
 __all__ = ["EventLoop", "SimulationConfig", "Simulation", "EventHandler", "SimulationHook", "EventHook"]
 
@@ -43,7 +44,16 @@ EventHook = Callable[["Simulation", Event], None]
 
 
 class EventLoop:
-    """A min-heap of events ordered by time (ties broken by insertion order).
+    """A min-heap of events ordered by time (ties broken by the event's
+    ``sort_priority``, then insertion order).
+
+    The priority rank exists for one reason: request arrivals must pop
+    ahead of any other event scheduled for the same instant, whether they
+    were pushed up front (materialized workloads push every arrival before
+    the run starts, so their insertion order alone used to guarantee this)
+    or lazily mid-run (streaming workloads push arrival *k+1* only when
+    arrival *k* fires).  Making the rank part of the key keeps the two
+    scheduling styles byte-identical even on exact time collisions.
 
     Housekeeping events (``event.housekeeping``, e.g. container-expiry
     timers) are tracked separately: they are popped in global time order
@@ -55,14 +65,15 @@ class EventLoop:
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
-        #: Mirror heap of the (time, counter) keys of non-housekeeping events.
-        self._real_keys: list[tuple[float, int]] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
+        #: Mirror heap of the (time, priority, counter) keys of
+        #: non-housekeeping events.
+        self._real_keys: list[tuple[float, int, int]] = []
         self._counter = itertools.count()
 
     def push(self, event: Event) -> None:
         """Schedule an event."""
-        key = (event.time_ms, next(self._counter))
+        key = (event.time_ms, event.sort_priority, next(self._counter))
         heapq.heappush(self._heap, (*key, event))
         if not event.housekeeping:
             heapq.heappush(self._real_keys, key)
@@ -71,7 +82,7 @@ class EventLoop:
         """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("event loop is empty")
-        time_ms, counter, event = heapq.heappop(self._heap)
+        time_ms, priority, counter, event = heapq.heappop(self._heap)
         if not event.housekeeping:
             # The popped event is the global minimum, so when it is a real
             # event it is also the minimum of the real-key mirror heap.
@@ -130,6 +141,16 @@ class SimulationConfig:
 class Simulation:
     """One run: a policy scheduling a request stream on the emulated cluster.
 
+    The workload is either a materialized ``Sequence[Request]`` (every
+    arrival event pre-registered up front — the default, debuggable path)
+    or a lazy :class:`~repro.workloads.stream.RequestStream`, which the
+    simulation pulls *on demand*: exactly one arrival event is pending at
+    any time, and popping it schedules the next one from the stream.  With
+    a streaming metrics collector this bounds the whole run's footprint —
+    no request list, no upfront event flood — while remaining
+    byte-identical to the materialized run (arrivals outrank same-time
+    events via ``Event.sort_priority``, mirroring the upfront push order).
+
     Event dispatch is table-driven: :meth:`register_handler` maps an event
     type to a handler, and the base :class:`Event` entry falls back to the
     event's own :meth:`Event.apply`.  Observers can watch a run without
@@ -144,7 +165,7 @@ class Simulation:
     def __init__(
         self,
         policy: SchedulingPolicy,
-        requests: Sequence[Request],
+        requests: Sequence[Request] | RequestStream,
         profile_store: ProfileStore,
         *,
         config: SimulationConfig | None = None,
@@ -152,11 +173,14 @@ class Simulation:
         transfer_model: DataTransferModel | None = None,
         setting_name: str = "",
     ) -> None:
-        if not requests:
+        stream = requests if isinstance(requests, RequestStream) else None
+        if stream is None and not requests:
             raise ValueError("a simulation needs at least one request")
         self.config = config or SimulationConfig()
         self.policy = policy
-        self.requests = list(requests)
+        #: The materialized workload; stays empty for streaming runs (the
+        #: stream is consumed, never retained).
+        self.requests = [] if stream is not None else list(requests)
         self.profile_store = profile_store
         self.cluster = ClusterState(config=self.config.cluster)
         self.metrics = MetricsCollector(
@@ -200,10 +224,15 @@ class Simulation:
             event_sink=self.events.push,
         )
 
-        workflows: dict[str, Workflow] = {}
-        for request in self.requests:
-            workflows.setdefault(request.app_name, request.workflow)
-            self.controller.register_workflow(request.workflow)
+        if stream is not None:
+            workflows = dict(stream.workflows())
+            for workflow in workflows.values():
+                self.controller.register_workflow(workflow)
+        else:
+            workflows: dict[str, Workflow] = {}
+            for request in self.requests:
+                workflows.setdefault(request.app_name, request.workflow)
+                self.controller.register_workflow(request.workflow)
         self.controller.initialize_warm_pool()
 
         context = SchedulingContext(
@@ -216,8 +245,34 @@ class Simulation:
         )
         policy.bind(context)
 
-        for request in self.requests:
-            self.events.push(RequestArrivalEvent(time_ms=request.arrival_ms, request=request))
+        self._streaming_workload = stream is not None
+        self._arrival_source = iter(stream) if stream is not None else None
+        if stream is not None:
+            if not self._schedule_next_arrival():
+                raise ValueError("a simulation needs at least one request")
+        else:
+            for request in self.requests:
+                self.events.push(
+                    RequestArrivalEvent(time_ms=request.arrival_ms, request=request)
+                )
+
+    def _schedule_next_arrival(self) -> bool:
+        """Pull one request from the workload stream and schedule its arrival.
+
+        Streaming runs keep exactly one pending arrival event: the next one
+        is scheduled when the current one pops (see :meth:`run`), so the
+        event queue holds in-flight work only, never the whole workload.
+        Returns False once the stream is exhausted.
+        """
+        if self._arrival_source is None:
+            return False
+        pair = next(self._arrival_source, None)
+        if pair is None:
+            self._arrival_source = None
+            return False
+        arrival_ms, request = pair
+        self.events.push(RequestArrivalEvent(time_ms=arrival_ms, request=request))
+        return True
 
     # ------------------------------------------------------------------
     # Event dispatch
@@ -324,6 +379,11 @@ class Simulation:
                 # Engine-owned invariant: the pending tick is consumed the
                 # moment it is popped, no matter which handler processes it.
                 self._tick_scheduled = False
+            elif isinstance(event, RequestArrivalEvent) and self._arrival_source is not None:
+                # Engine-owned invariant for streaming workloads: popping an
+                # arrival schedules the next one, regardless of which
+                # handler processes the event.
+                self._schedule_next_arrival()
             self._dispatch(event)
             # Housekeeping events are free: counting them against
             # max_events (or the progress cadence) would make indexed runs
@@ -363,6 +423,11 @@ class Simulation:
     def truncated(self) -> bool:
         """True when the run stopped at the horizon or the event cap."""
         return self._truncated
+
+    @property
+    def streaming_workload(self) -> bool:
+        """True when the workload is pulled lazily from a RequestStream."""
+        return self._streaming_workload
 
     def config_space(self) -> ConfigurationSpace:
         """The configuration space the run uses."""

@@ -25,9 +25,11 @@ independent runs out across worker processes when ``n_jobs > 1``.
 from repro.experiments.engine import ExperimentEngine, RunSpec, execute_spec
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
+    WORKLOAD_MODES,
     ExperimentConfig,
     RunResult,
     build_profile_store,
+    build_request_stream,
     build_requests,
     make_policy,
     run_experiment,
@@ -44,11 +46,13 @@ from repro.experiments.scenario_sweep import (
 
 __all__ = [
     "DEFAULT_POLICIES",
+    "WORKLOAD_MODES",
     "ExperimentConfig",
     "ExperimentEngine",
     "RunResult",
     "RunSpec",
     "build_profile_store",
+    "build_request_stream",
     "build_requests",
     "execute_spec",
     "make_policy",

@@ -54,7 +54,7 @@ from repro.experiments.overhead import (
     run_bruteforce_comparison,
     run_figure10,
 )
-from repro.experiments.runner import ExperimentConfig
+from repro.experiments.runner import WORKLOAD_MODES, ExperimentConfig
 from repro.experiments.scenario_sweep import compare_on_scenarios, render_scenario_list
 from repro.experiments.sensitivity import (
     render_figure11,
@@ -103,6 +103,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         cluster=_cluster_from_args(args),
         cluster_pinned=pinned,
         metrics=MetricsConfig(mode=args.metrics_mode),
+        workload_mode=args.workload_mode,
     )
 
 
@@ -237,6 +238,17 @@ def build_parser() -> argparse.ArgumentParser:
         "accumulators at record time (byte-identical summaries; the metrics "
         "layer stays compact on large --requests runs — the workload itself "
         "still scales with the request count)",
+    )
+    parser.add_argument(
+        "--workload-mode",
+        choices=WORKLOAD_MODES,
+        default="materialized",
+        help="workload generation: 'materialized' builds the full request "
+        "list up front (default, debuggable), 'streaming' lets the "
+        "simulator pull arrivals lazily from a request stream "
+        "(byte-identical results, ~16 bytes per request instead of whole "
+        "object graphs; pair with --metrics-mode streaming for "
+        "bounded-memory million-request runs)",
     )
     parser.add_argument(
         "--list-scenarios",

@@ -146,8 +146,9 @@ def figure7_curves(
             continue
         for app in result.metrics.app_names():
             latencies = tuple(result.metrics.latencies_ms(app))
-            slo_values = [r.slo_ms for r in result.requests if r.app_name == app]
-            slo_ms = slo_values[0] if slo_values else 0.0
+            # Read the SLO from the collector, not result.requests: a
+            # streaming-workload run retains no request list.
+            slo_ms = result.metrics.app_slo_ms(app) or 0.0
             curves.append(
                 LatencyCurve(
                     setting=s,

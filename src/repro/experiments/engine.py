@@ -59,12 +59,14 @@ class RunSpec:
     policy_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Optional bookkeeping label (e.g. an ablation variant name).
     label: str | None = None
-    #: When True the run executes with a *streaming* metrics collector (no
-    #: request/task object is ever retained in the worker) and the result
-    #: carries only the :class:`RunSummary` plus an explicit placeholder
-    #: collector (``metrics.placeholder`` is True, counters and ``truncated``
-    #: mirror the summary): sweeps that read a few summary scalars avoid
-    #: both worker-side retention and shipping request objects over IPC.
+    #: When True the run executes with a *streaming* metrics collector and
+    #: a *streaming* workload (no request/task object is ever materialised
+    #: in the worker — arrivals are pulled lazily from a RequestStream) and
+    #: the result carries only the :class:`RunSummary` plus an explicit
+    #: placeholder collector (``metrics.placeholder`` is True, counters and
+    #: ``truncated`` mirror the summary): sweeps that read a few summary
+    #: scalars avoid both worker-side retention and shipping request
+    #: objects over IPC.
     summary_only: bool = False
     #: A registered scenario name or a :class:`Scenario` object (mutually
     #: exclusive with ``setting``).  Names are resolved against the global
@@ -136,17 +138,26 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
     Module-level (not a method) so it is picklable as a process-pool task.
 
-    ``summary_only`` specs run with a *streaming* metrics collector: the
+    ``summary_only`` specs run with a *streaming* metrics collector — the
     worker folds every observation into accumulators at record time instead
-    of materialising request/task lists it would only throw away.  Summaries
-    are byte-identical across collector modes, so this is purely a memory
+    of materialising request/task lists it would only throw away — and a
+    *streaming* workload, so the request list is never materialised either:
+    the simulator pulls arrivals from a lazy
+    :class:`~repro.workloads.stream.RequestStream`.  Summaries are
+    byte-identical across both mode axes, so this is purely a memory
     optimisation.  The result's ``metrics`` is an explicit placeholder
     (:meth:`MetricsCollector.placeholder_from_summary`) whose counters and
     ``truncated`` flag agree with the attached summary.
     """
     config = spec.config
-    if spec.summary_only and config.metrics.mode != "streaming":
-        config = config.with_overrides(metrics=MetricsConfig(mode="streaming"))
+    if spec.summary_only:
+        upgrades: dict[str, object] = {}
+        if config.metrics.mode != "streaming":
+            upgrades["metrics"] = MetricsConfig(mode="streaming")
+        if config.workload_mode != "streaming":
+            upgrades["workload_mode"] = "streaming"
+        if upgrades:
+            config = config.with_overrides(**upgrades)
     store = _profile_store_for(config.space)
     result = run_experiment(
         spec.build_policy(),

@@ -30,13 +30,16 @@ from repro.workloads.applications import build_paper_applications
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadGenerator, WorkloadSetting
 from repro.workloads.request import Request
 from repro.workloads.scenarios import Scenario, get_scenario
+from repro.workloads.stream import WORKLOAD_MODES, RequestStream
 
 __all__ = [
     "DEFAULT_POLICIES",
     "EXPERIMENT_SPACE",
+    "WORKLOAD_MODES",
     "ExperimentConfig",
     "RunResult",
     "build_profile_store",
+    "build_request_stream",
     "build_requests",
     "make_policy",
     "run_experiment",
@@ -87,6 +90,21 @@ class ExperimentConfig:
     #: streaming accumulators (constant-size state per app, for very large
     #: runs).  Summaries are byte-identical across modes.
     metrics: MetricsConfig = field(default_factory=MetricsConfig)
+    #: Workload generation mode: ``"materialized"`` (default) builds the
+    #: full request list up front; ``"streaming"`` hands the simulator a
+    #: lazy :class:`~repro.workloads.stream.RequestStream` that it pulls
+    #: one arrival at a time — ~16 bytes per request instead of a whole
+    #: object graph, with byte-identical summaries.  Combine with
+    #: ``metrics=MetricsConfig(mode="streaming")`` for bounded-memory
+    #: million-request runs end to end.
+    workload_mode: str = "materialized"
+
+    def __post_init__(self) -> None:
+        if self.workload_mode not in WORKLOAD_MODES:
+            raise ValueError(
+                f"unknown workload mode {self.workload_mode!r}; "
+                f"expected one of {WORKLOAD_MODES}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -101,6 +119,9 @@ class RunResult:
     setting: WorkloadSetting
     summary: RunSummary
     metrics: MetricsCollector
+    #: The materialized workload; empty for streaming-workload runs (the
+    #: requests were pulled lazily and never retained) and for
+    #: ``summary_only`` engine results (never shipped over IPC).
     requests: list[Request]
     #: Name of the scenario the run was built from, when one was used.
     scenario_name: str | None = None
@@ -124,6 +145,23 @@ def build_profile_store(space: ConfigurationSpace | None = None) -> ProfileStore
     return ProfileStore.build(space=space or EXPERIMENT_SPACE)
 
 
+def _build_generator(
+    setting: WorkloadSetting | str,
+    seed: int,
+    profile_store: ProfileStore,
+    burstiness: float,
+) -> WorkloadGenerator:
+    if isinstance(setting, str):
+        setting = WORKLOAD_SETTINGS[setting]
+    return WorkloadGenerator(
+        applications=build_paper_applications(),
+        setting=setting,
+        profile_store=profile_store,
+        rng=derive_rng(seed, "workload", setting.name),
+        burstiness=burstiness,
+    )
+
+
 def build_requests(
     setting: WorkloadSetting | str,
     num_requests: int,
@@ -138,16 +176,19 @@ def build_requests(
     every policy evaluated under the same (setting, seed) sees the same
     arrivals and application mix.
     """
-    if isinstance(setting, str):
-        setting = WORKLOAD_SETTINGS[setting]
-    generator = WorkloadGenerator(
-        applications=build_paper_applications(),
-        setting=setting,
-        profile_store=profile_store,
-        rng=derive_rng(seed, "workload", setting.name),
-        burstiness=burstiness,
-    )
-    return generator.generate(num_requests)
+    return _build_generator(setting, seed, profile_store, burstiness).generate(num_requests)
+
+
+def build_request_stream(
+    setting: WorkloadSetting | str,
+    num_requests: int,
+    seed: int,
+    profile_store: ProfileStore,
+    *,
+    burstiness: float = 0.0,
+) -> RequestStream:
+    """Lazy counterpart of :func:`build_requests` (byte-identical requests)."""
+    return _build_generator(setting, seed, profile_store, burstiness).stream(num_requests)
 
 
 def make_policy(name: str, /, **overrides) -> SchedulingPolicy:
@@ -192,6 +233,13 @@ def run_experiment(
     applications x setting x arrival process x horizon.  A paper-default
     scenario (``paper-<setting>``) produces byte-identical results to
     passing the bare setting.
+
+    ``config.workload_mode == "streaming"`` builds the workload as a lazy
+    :class:`~repro.workloads.stream.RequestStream` the simulator pulls on
+    demand instead of a materialized list: summaries are byte-identical,
+    the result's ``requests`` list stays empty.  An explicitly passed
+    ``requests`` sequence is already materialized and runs as such
+    regardless of the mode.
     """
     config = config or ExperimentConfig()
     if scenario is not None:
@@ -247,14 +295,29 @@ def run_experiment(
             topology.to_cluster_config(index_mode=cluster_config.index_mode),
             keep_alive_ms=keep_alive_ms,
         )
+    streaming = config.workload_mode == "streaming" and requests is None
+    workload: Sequence[Request] | RequestStream
     if requests is None:
         if scenario is not None:
             num_requests = scenario.num_requests or config.num_requests
-            requests = scenario.build_requests(
-                num_requests, config.seed, profile_store, burstiness=config.burstiness
+            if streaming:
+                workload = scenario.build_stream(
+                    num_requests, config.seed, profile_store, burstiness=config.burstiness
+                )
+            else:
+                workload = scenario.build_requests(
+                    num_requests, config.seed, profile_store, burstiness=config.burstiness
+                )
+        elif streaming:
+            workload = build_request_stream(
+                setting,
+                config.num_requests,
+                config.seed,
+                profile_store,
+                burstiness=config.burstiness,
             )
         else:
-            requests = build_requests(
+            workload = build_requests(
                 setting,
                 config.num_requests,
                 config.seed,
@@ -262,11 +325,13 @@ def run_experiment(
                 burstiness=config.burstiness,
             )
     else:
-        requests = list(requests)
+        # An explicit request list is already materialized; workload_mode
+        # applies only to workloads this function builds itself.
+        workload = list(requests)
 
     simulation = Simulation(
         policy=policy,
-        requests=requests,
+        requests=workload,
         profile_store=profile_store,
         config=SimulationConfig(
             seed=config.seed,
@@ -284,7 +349,7 @@ def run_experiment(
         setting=setting,
         summary=summary,
         metrics=simulation.metrics,
-        requests=list(requests),
+        requests=[] if streaming else list(workload),
         scenario_name=scenario.name if scenario is not None else None,
     )
 

@@ -36,7 +36,9 @@ from repro.workloads.arrival import (
     OnOffBurstProcess,
     PoissonProcess,
     TraceExhaustedError,
+    TraceFileReplayProcess,
     TraceReplayProcess,
+    iter_trace_intervals,
 )
 from repro.workloads.dag import Stage, Workflow
 from repro.workloads.generator import (
@@ -48,6 +50,12 @@ from repro.workloads.generator import (
     WorkloadSetting,
 )
 from repro.workloads.request import Job, Request
+from repro.workloads.stream import (
+    WORKLOAD_MODES,
+    CountRequestStream,
+    DurationRequestStream,
+    RequestStream,
+)
 from repro.workloads.scenarios import (
     SCENARIOS,
     Scenario,
@@ -78,7 +86,13 @@ __all__ = [
     "OnOffBurstProcess",
     "DiurnalProcess",
     "TraceReplayProcess",
+    "TraceFileReplayProcess",
     "TraceExhaustedError",
+    "iter_trace_intervals",
+    "WORKLOAD_MODES",
+    "RequestStream",
+    "CountRequestStream",
+    "DurationRequestStream",
     "WorkloadSetting",
     "WorkloadGenerator",
     "STRICT_LIGHT",

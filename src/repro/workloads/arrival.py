@@ -40,9 +40,11 @@ True
 from __future__ import annotations
 
 import csv
+import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -56,7 +58,9 @@ __all__ = [
     "OnOffBurstProcess",
     "DiurnalProcess",
     "TraceReplayProcess",
+    "TraceFileReplayProcess",
     "TraceExhaustedError",
+    "iter_trace_intervals",
 ]
 
 
@@ -82,6 +86,27 @@ class ArrivalProcess(ABC):
     @abstractmethod
     def mean_interval_ms(self) -> float:
         """Long-run mean inter-arrival time (used to size duration-bounded runs)."""
+
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        """Yield inter-arrival intervals one at a time.
+
+        The open-ended counterpart of :meth:`intervals`, used by
+        duration-bounded request streams
+        (:class:`~repro.workloads.stream.DurationRequestStream`) where the
+        interval count is unknown up front.  The contract: the first ``n``
+        yielded values equal ``intervals(n, rng)`` value-for-value on the
+        same RNG state (numpy's per-value draws are stream-equivalent to
+        bulk draws).  The default implementation draws one value per pull
+        and is correct for *memoryless* processes only — processes whose
+        bulk path carries state across values (Markov state, a thinning
+        clock, a trace cursor) must override it, or each pull would
+        silently restart from the initial state.
+
+        The iterator is infinite for every generative process; only trace
+        replays end (a non-looping trace stops after its stored intervals).
+        """
+        while True:
+            yield float(self.intervals(1, rng)[0])
 
     def arrival_times(
         self, n: int, rng: np.random.Generator, *, start_ms: float = 0.0
@@ -114,6 +139,20 @@ class AzureIntervalProcess(ArrivalProcess):
 
     def intervals(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return generate_intervals(n, self.interval_range, rng, burstiness=self.burstiness)
+
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        if self.burstiness != 0.0:
+            # The burstiness envelope is a sinusoid stretched over the
+            # *total* batch length (np.linspace(0, 4*pi, n)), so it has no
+            # open-ended form: the modulation of interval k depends on how
+            # many intervals will be drawn in total.
+            raise ValueError(
+                "AzureIntervalProcess with burstiness > 0 cannot stream: its "
+                "rate modulation spans a fixed-length batch; use burstiness=0, "
+                "or model open-ended burstiness with OnOffBurstProcess / "
+                "DiurnalProcess"
+            )
+        return super().interval_stream(rng)
 
     @property
     def mean_interval_ms(self) -> float:
@@ -169,12 +208,18 @@ class OnOffBurstProcess(ArrivalProcess):
 
     def intervals(self, n: int, rng: np.random.Generator) -> np.ndarray:
         ensure_positive_int(n, "n")
-        out = np.empty(n)
+        # One draw loop only: the stream is the source of truth and the
+        # bulk path takes its first n values (identical draws, same RNG).
+        return np.fromiter(itertools.islice(self.interval_stream(rng), n), float, count=n)
+
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        # The Markov state (burst/base, dwell deadline) carries across
+        # yields, so pulls continue the sample path instead of restarting.
         in_burst = self.start_in_burst
         now = 0.0
         state_end = now + rng.exponential(self.mean_burst_ms if in_burst else self.mean_gap_ms)
         last_arrival = 0.0
-        for i in range(n):
+        while True:
             while True:
                 mean = 1000.0 / (self.burst_rate_per_s if in_burst else self.base_rate_per_s)
                 candidate = now + rng.exponential(mean)
@@ -186,9 +231,8 @@ class OnOffBurstProcess(ArrivalProcess):
                 state_end = now + rng.exponential(
                     self.mean_burst_ms if in_burst else self.mean_gap_ms
                 )
-            out[i] = now - last_arrival
+            yield now - last_arrival
             last_arrival = now
-        return out
 
     @property
     def mean_interval_ms(self) -> float:
@@ -232,19 +276,24 @@ class DiurnalProcess(ArrivalProcess):
 
     def intervals(self, n: int, rng: np.random.Generator) -> np.ndarray:
         ensure_positive_int(n, "n")
+        # One thinning loop only: the stream is the source of truth and the
+        # bulk path takes its first n values (identical draws, same RNG).
+        return np.fromiter(itertools.islice(self.interval_stream(rng), n), float, count=n)
+
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        # The candidate clock carries across yields (a restart-per-pull
+        # would reset the sinusoid's phase to t=0 for every interval).
         peak_rate = self.base_rate_per_s * (1.0 + self.amplitude)
         peak_mean_ms = 1000.0 / peak_rate
-        out = np.empty(n)
         now = 0.0
         last_arrival = 0.0
-        for i in range(n):
+        while True:
             while True:
                 now += rng.exponential(peak_mean_ms)
                 if rng.uniform() * peak_rate <= self.rate_per_s_at(now):
                     break
-            out[i] = now - last_arrival
+            yield now - last_arrival
             last_arrival = now
-        return out
 
     @property
     def mean_interval_ms(self) -> float:
@@ -297,34 +346,9 @@ class TraceReplayProcess(ArrivalProcess):
         loop:
             Passed through to the process (wrap around instead of raising).
         """
-        if kind not in ("intervals", "timestamps"):
-            raise ValueError(f"kind must be 'intervals' or 'timestamps', got {kind!r}")
-        values: list[float] = []
-        with open(path, newline="") as handle:
-            for row in csv.reader(handle):
-                if not row:
-                    continue
-                if len(row) <= column:
-                    raise ValueError(
-                        f"row {row!r} in trace {path} has no column {column}"
-                    )
-                if not row[column].strip():
-                    continue
-                try:
-                    values.append(float(row[column]))
-                except ValueError:
-                    if values:
-                        raise ValueError(
-                            f"non-numeric value {row[column]!r} in trace {path}"
-                        ) from None
-                    continue  # header row
+        values = list(_iter_csv_values(path, column, kind=kind))
         if not values:
             raise ValueError(f"trace {path} is empty: no numeric values in column {column}")
-        if kind == "timestamps":
-            diffs = np.diff(np.asarray(values), prepend=0.0)
-            if (diffs <= 0).any():
-                raise ValueError(f"timestamps in trace {path} must be strictly increasing")
-            values = diffs.tolist()
         return cls(intervals_ms=tuple(values), loop=loop)
 
     def intervals(self, n: int, rng: np.random.Generator) -> np.ndarray:
@@ -338,6 +362,155 @@ class TraceReplayProcess(ArrivalProcess):
         reps = -(-n // stored)  # ceil division
         return np.tile(np.asarray(self.intervals_ms), reps)[:n]
 
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        while True:
+            yield from self.intervals_ms
+            if not self.loop:
+                return
+
     @property
     def mean_interval_ms(self) -> float:
         return float(np.mean(self.intervals_ms))
+
+
+def _iter_csv_values(
+    path: str | Path, column: int, *, kind: str = "intervals"
+) -> Iterator[float]:
+    """Parse one numeric column of a trace CSV, one row at a time.
+
+    Shared by the eager :meth:`TraceReplayProcess.from_csv` and the chunked
+    :class:`TraceFileReplayProcess` reader, so both apply identical parsing
+    rules: blank rows and empty cells are skipped, leading non-numeric rows
+    are treated as a header, a non-numeric value after the first numeric one
+    is an error, and ``kind="timestamps"`` columns are differenced on the
+    fly (the first timestamp is measured from 0) with a strictly-increasing
+    check.
+    """
+    if kind not in ("intervals", "timestamps"):
+        raise ValueError(f"kind must be 'intervals' or 'timestamps', got {kind!r}")
+    previous_ts = 0.0
+    seen_numeric = False
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if not row:
+                continue
+            if len(row) <= column:
+                raise ValueError(f"row {row!r} in trace {path} has no column {column}")
+            if not row[column].strip():
+                continue
+            try:
+                value = float(row[column])
+            except ValueError:
+                if seen_numeric:
+                    raise ValueError(
+                        f"non-numeric value {row[column]!r} in trace {path}"
+                    ) from None
+                continue  # header row
+            seen_numeric = True
+            if kind == "timestamps":
+                interval = value - previous_ts
+                if interval <= 0:
+                    raise ValueError(
+                        f"timestamps in trace {path} must be strictly increasing"
+                    )
+                previous_ts = value
+                yield interval
+            else:
+                yield value
+
+
+def iter_trace_intervals(
+    path: str | Path,
+    *,
+    column: int = 0,
+    kind: str = "intervals",
+    loop: bool = False,
+) -> Iterator[float]:
+    """Lazily yield the inter-arrival intervals of a trace CSV.
+
+    Reads the file row by row (re-opening it per pass when ``loop`` is
+    True), so a multi-gigabyte trace streams in constant memory.  Interval
+    validation (``> 0 ms``) happens as values are read.  Raises
+    ``ValueError`` on an empty trace — also when looping, where an empty
+    file would otherwise spin forever.
+    """
+    while True:
+        yielded = 0
+        for value in _iter_csv_values(path, column, kind=kind):
+            if value <= 0:
+                raise ValueError(f"trace intervals must all be > 0 ms, got {value}")
+            yielded += 1
+            yield value
+        if yielded == 0:
+            raise ValueError(
+                f"trace {path} is empty: no numeric values in column {column}"
+            )
+        if not loop:
+            return
+
+
+@dataclass(frozen=True)
+class TraceFileReplayProcess(ArrivalProcess):
+    """Replays a trace CSV directly from disk, in chunks.
+
+    The file-backed sibling of :class:`TraceReplayProcess`: instead of
+    loading every interval into an inline tuple at construction, it keeps
+    only the *path* and reads rows lazily — :meth:`interval_stream` is the
+    primary interface, and a duration-bounded request stream over a
+    million-row trace runs in constant memory.  The trade-off is explicit:
+    the process pickles as a path, so a worker process must see the same
+    file at the same location (the inline :class:`TraceReplayProcess`
+    travels self-contained and remains the right choice for small traces
+    shipped inside :class:`~repro.experiments.engine.RunSpec`).
+    """
+
+    path: str
+    column: int = 0
+    kind: str = "intervals"
+    loop: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path", str(self.path))
+        if self.kind not in ("intervals", "timestamps"):
+            raise ValueError(
+                f"kind must be 'intervals' or 'timestamps', got {self.kind!r}"
+            )
+        if self.column < 0:
+            raise ValueError(f"column must be >= 0, got {self.column}")
+        if not Path(self.path).is_file():
+            raise FileNotFoundError(f"trace file {self.path!r} does not exist")
+
+    def interval_stream(self, rng: np.random.Generator) -> Iterator[float]:
+        return iter_trace_intervals(
+            self.path, column=self.column, kind=self.kind, loop=self.loop
+        )
+
+    def intervals(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        ensure_positive_int(n, "n")
+        out = np.empty(n)
+        stream = self.interval_stream(rng)
+        for i in range(n):
+            try:
+                out[i] = next(stream)
+            except StopIteration:
+                raise TraceExhaustedError(
+                    f"trace {self.path} holds {i} intervals but {n} were "
+                    f"requested; pass loop=True to wrap around"
+                ) from None
+        return out
+
+    @property
+    def mean_interval_ms(self) -> float:
+        """Mean interval over one full pass of the file (computed once)."""
+        cached = self.__dict__.get("_mean_interval_ms")
+        if cached is None:
+            total = 0.0
+            count = 0
+            for value in iter_trace_intervals(
+                self.path, column=self.column, kind=self.kind, loop=False
+            ):
+                total += value
+                count += 1
+            cached = total / count
+            object.__setattr__(self, "_mean_interval_ms", cached)
+        return cached

@@ -39,10 +39,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.profiles.profiler import ProfileStore
-from repro.utils.validation import ensure_positive, ensure_positive_int
+from repro.utils.validation import ensure_positive
 from repro.workloads.arrival import ArrivalProcess, AzureIntervalProcess
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Request
+from repro.workloads.stream import CountRequestStream, DurationRequestStream
 from repro.workloads.traces import (
     HEAVY_INTERVALS,
     LIGHT_INTERVALS,
@@ -166,43 +167,50 @@ class WorkloadGenerator:
             return self.arrival
         return AzureIntervalProcess(self.setting.intervals, burstiness=self.burstiness)
 
+    def stream(self, num_requests: int, *, start_ms: float = 0.0) -> CountRequestStream:
+        """Lazy stream of ``num_requests`` requests.
+
+        The stream draws its randomness at construction with exactly
+        :meth:`generate`'s bulk RNG calls, so iterating it yields requests
+        **byte-identical** to the materialized list (same ids, arrivals,
+        application picks and SLOs) while holding only ~16 bytes per
+        request (two compact numpy arrays) instead of the full object
+        graphs.  ``Request`` objects are built one at a time as the
+        simulator pulls them.
+        """
+        return CountRequestStream(self, num_requests, start_ms=start_ms)
+
+    def stream_for_duration(
+        self, duration_ms: float, *, start_ms: float = 0.0
+    ) -> DurationRequestStream:
+        """Lazy stream of every request arriving within ``duration_ms``.
+
+        Exactness guarantee: the stream yields *every* arrival in
+        ``(start_ms, start_ms + duration_ms]`` and nothing beyond — it keeps
+        drawing until the arrival clock actually passes the bound, so even
+        a bursty process whose realised short-term rate far exceeds its
+        long-run mean is covered completely.  Memory is O(1): intervals and
+        application picks are drawn per request.  A non-looping trace that
+        runs out before the window is covered raises
+        :class:`~repro.workloads.arrival.TraceExhaustedError` (mid-stream,
+        at the exhausted pull).
+        """
+        return DurationRequestStream(self, duration_ms, start_ms=start_ms)
+
     def generate(self, num_requests: int, *, start_ms: float = 0.0) -> list[Request]:
         """Generate ``num_requests`` requests with increasing arrival times."""
-        ensure_positive_int(num_requests, "num_requests")
-        arrivals = self.arrival_process.arrival_times(num_requests, self.rng, start_ms=start_ms)
-
-        if self.app_weights is None:
-            probs = None
-        else:
-            weights = np.asarray(self.app_weights, dtype=float)
-            probs = weights / weights.sum()
-        app_indices = self.rng.choice(len(self.applications), size=num_requests, p=probs)
-
-        requests: list[Request] = []
-        for req_id, (arrival, app_idx) in enumerate(zip(arrivals, app_indices)):
-            workflow = self.applications[int(app_idx)]
-            if self.workflow_factory is not None:
-                workflow = self.workflow_factory(workflow)
-            requests.append(
-                Request(
-                    request_id=req_id,
-                    workflow=workflow,
-                    arrival_ms=float(arrival),
-                    slo_ms=self.slo_ms(workflow),
-                )
-            )
-        return requests
+        return self.stream(num_requests, start_ms=start_ms).materialize()
 
     def generate_for_duration(self, duration_ms: float, *, start_ms: float = 0.0) -> list[Request]:
-        """Generate requests until the arrival clock exceeds ``duration_ms``.
+        """Generate every request arriving within ``duration_ms``.
 
-        The request count is estimated from the arrival process's long-run
-        mean rate with a 30% safety margin; a non-looping trace shorter than
-        the estimate raises
+        Materializes :meth:`stream_for_duration`, inheriting its exactness
+        guarantee: generation continues until the arrival clock actually
+        exceeds ``start_ms + duration_ms``, so bursty processes
+        (:class:`~repro.workloads.arrival.OnOffBurstProcess`,
+        :class:`~repro.workloads.arrival.DiurnalProcess`) are never silently
+        truncated the way the historical mean-rate estimate could be.  A
+        non-looping trace that runs out before the window is covered raises
         :class:`~repro.workloads.arrival.TraceExhaustedError`.
         """
-        ensure_positive(duration_ms, "duration_ms")
-        mean_interval = self.arrival_process.mean_interval_ms
-        estimate = max(1, int(duration_ms / mean_interval * 1.3) + 8)
-        requests = self.generate(estimate, start_ms=start_ms)
-        return [r for r in requests if r.arrival_ms <= start_ms + duration_ms]
+        return self.stream_for_duration(duration_ms, start_ms=start_ms).materialize()

@@ -56,6 +56,7 @@ from repro.workloads.generator import (
     WorkloadSetting,
 )
 from repro.workloads.request import Request
+from repro.workloads.stream import RequestStream
 from repro.workloads.traces import HEAVY_INTERVALS, LIGHT_INTERVALS, NORMAL_INTERVALS
 
 __all__ = [
@@ -220,6 +221,24 @@ class Scenario:
         """Generate the deterministic request stream for ``(self, seed)``."""
         generator = self.build_generator(profile_store, seed, burstiness=burstiness)
         return generator.generate(num_requests)
+
+    def build_stream(
+        self,
+        num_requests: int,
+        seed: int,
+        profile_store: ProfileStore,
+        *,
+        burstiness: float = 0.0,
+    ) -> RequestStream:
+        """Lazy counterpart of :meth:`build_requests`.
+
+        Returns a :class:`~repro.workloads.stream.RequestStream` whose
+        iteration yields requests byte-identical to the materialized list
+        for the same ``(self, seed)`` — the simulator pulls them on demand
+        instead of holding them all.
+        """
+        generator = self.build_generator(profile_store, seed, burstiness=burstiness)
+        return generator.stream(num_requests)
 
     def mean_rate_per_s(self) -> float:
         """Long-run mean arrival rate of this scenario's process."""

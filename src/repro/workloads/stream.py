@@ -1,0 +1,280 @@
+"""Lazy request streams: bounded-memory workload generation.
+
+A :class:`RequestStream` is the lazy counterpart of
+:meth:`~repro.workloads.generator.WorkloadGenerator.generate`: an ordered
+iterator of ``(arrival_ms, Request)`` pairs that the simulator can pull one
+arrival at a time, so a million-request run never holds a million
+:class:`~repro.workloads.request.Request` object graphs at once.  Two
+concrete shapes exist, matching the two generation modes:
+
+* :class:`CountRequestStream` — a fixed number of requests.  Its random
+  draws are *bulk* calls in exactly the order the materialized
+  :meth:`~repro.workloads.generator.WorkloadGenerator.generate` path makes
+  them (all arrival intervals, then all application picks), which is what
+  makes streaming runs **byte-identical** to materialized runs: the stream
+  keeps only two compact numpy arrays (~16 bytes per request) and builds
+  each ``Request`` on demand.
+* :class:`DurationRequestStream` — every request whose arrival falls inside
+  a simulated-time window.  Draws are *per request* (one interval, then one
+  application pick), so the stream is O(1) in memory and — unlike the
+  historical mean-rate estimate — **exact**: it ends only once the arrival
+  clock actually passes the window, no matter how bursty the process is.
+
+Determinism contract: a stream is a pure function of its generator's RNG
+state at construction.  Count streams consume the RNG at construction time
+(two bulk draws); duration streams consume it while iterating — one
+interval pull interleaved with one application pick per request, on the
+same generator.  That interleaving is the duration stream's own
+deterministic draw order: it does *not* reproduce a bare
+``intervals(n, rng)`` sequence (only ``interval_stream`` in isolation
+matches the bulk draws value-for-value; here the picks advance the RNG in
+between).
+
+Examples
+--------
+>>> from repro.utils.rng import derive_rng
+>>> from repro.profiles.profiler import ProfileStore
+>>> from repro.profiles.configuration import ConfigurationSpace
+>>> from repro.workloads.applications import build_paper_applications
+>>> from repro.workloads.generator import MODERATE_NORMAL, WorkloadGenerator
+>>> store = ProfileStore.build(space=ConfigurationSpace.small())
+>>> def fresh():
+...     return WorkloadGenerator(
+...         applications=build_paper_applications(),
+...         setting=MODERATE_NORMAL,
+...         profile_store=store,
+...         rng=derive_rng(7, "stream-doctest"),
+...     )
+>>> lazy = [r.arrival_ms for _, r in fresh().stream(5)]
+>>> eager = [r.arrival_ms for r in fresh().generate(5)]
+>>> lazy == eager
+True
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive, ensure_positive_int
+from repro.workloads.arrival import TraceExhaustedError
+from repro.workloads.dag import Workflow
+from repro.workloads.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "WORKLOAD_MODES",
+    "RequestStream",
+    "CountRequestStream",
+    "DurationRequestStream",
+]
+
+#: Workload-generation modes accepted by the experiment layer:
+#: ``"materialized"`` builds the full request list up front (the default,
+#: debuggable path); ``"streaming"`` hands the simulator a lazy
+#: :class:`RequestStream` instead.  Summaries are byte-identical.
+WORKLOAD_MODES = ("materialized", "streaming")
+
+
+def _app_probs(generator: "WorkloadGenerator") -> np.ndarray | None:
+    """Normalised application-pick probabilities (None = uniform)."""
+    if generator.app_weights is None:
+        return None
+    weights = np.asarray(generator.app_weights, dtype=float)
+    return weights / weights.sum()
+
+
+class RequestStream(ABC):
+    """An ordered, lazy stream of ``(arrival_ms, Request)`` pairs.
+
+    Iterating yields requests in arrival order with consecutive
+    ``request_id`` values starting at 0.  The simulator pulls one pair at a
+    time — scheduling arrival *k+1* only once arrival *k* has fired — so
+    the event queue and the workload layer stay small regardless of the
+    total request count.
+    """
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        """Yield ``(arrival_ms, request)`` in non-decreasing arrival order."""
+
+    @abstractmethod
+    def workflows(self) -> dict[str, Workflow]:
+        """The workflows this stream's requests will reference, keyed by
+        application name.
+
+        The simulator registers these (and warms the initial container
+        pool) before the first arrival, exactly like the upfront pass over
+        a materialized request list.  Count streams return precisely the
+        applications that *will* appear, in first-appearance order — the
+        same set and order a materialized run derives from its request
+        list, which is part of the byte-identity guarantee.  Duration
+        streams cannot know appearances without consuming the stream, so
+        they declare every application of their generator.
+        """
+
+    def materialize(self) -> list[Request]:
+        """Consume the stream into a plain request list."""
+        return [request for _, request in self]
+
+
+class CountRequestStream(RequestStream):
+    """Lazy stream of a fixed number of requests.
+
+    The arrival timestamps and application picks are drawn at construction
+    with the same two bulk RNG calls as
+    :meth:`~repro.workloads.generator.WorkloadGenerator.generate` — the
+    byte-identity anchor — and retained as compact numpy arrays (one float64
+    and one int64 per request).  ``Request`` objects are built only as the
+    stream is iterated, and a fresh iteration builds fresh objects, so one
+    stream can drive several runs of the *same* workload (requests carry
+    mutable runtime state and must never be shared across runs).
+    """
+
+    def __init__(
+        self,
+        generator: "WorkloadGenerator",
+        num_requests: int,
+        *,
+        start_ms: float = 0.0,
+    ) -> None:
+        ensure_positive_int(num_requests, "num_requests")
+        self._generator = generator
+        # Exactly generate()'s draw order: all intervals, then all picks.
+        self._arrivals = generator.arrival_process.arrival_times(
+            num_requests, generator.rng, start_ms=start_ms
+        )
+        self._app_indices = generator.rng.choice(
+            len(generator.applications), size=num_requests, p=_app_probs(generator)
+        )
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        generator = self._generator
+        applications = generator.applications
+        factory = generator.workflow_factory
+        for req_id in range(len(self._arrivals)):
+            workflow = applications[int(self._app_indices[req_id])]
+            if factory is not None:
+                workflow = factory(workflow)
+            arrival = float(self._arrivals[req_id])
+            yield arrival, Request(
+                request_id=req_id,
+                workflow=workflow,
+                arrival_ms=arrival,
+                slo_ms=generator.slo_ms(workflow),
+            )
+
+    def workflows(self) -> dict[str, Workflow]:
+        if self._generator.workflow_factory is not None:
+            raise ValueError(
+                "a streaming simulation cannot pre-register factory-built "
+                "workflows (the factory runs per request, at yield time); "
+                "use materialized generation with workflow_factory"
+            )
+        # First-appearance order of the app indices, mirroring the
+        # setdefault scan a materialized run does over its request list.
+        _, first_index = np.unique(self._app_indices, return_index=True)
+        workflows: dict[str, Workflow] = {}
+        for position in np.sort(first_index):
+            workflow = self._generator.applications[int(self._app_indices[position])]
+            workflows.setdefault(workflow.name, workflow)
+        return workflows
+
+
+class DurationRequestStream(RequestStream):
+    """Lazy stream of every request arriving within a simulated-time window.
+
+    Yields each request whose arrival falls in ``(start_ms, start_ms +
+    duration_ms]`` and stops as soon as the next drawn arrival would exceed
+    the bound — the *exact* duration guarantee that replaces the old
+    mean-rate-times-1.3 estimate (which silently under-generated for bursty
+    processes whose realised short-term rate beats their long-run mean).
+    Randomness is drawn per request (one interval via
+    :meth:`~repro.workloads.arrival.ArrivalProcess.interval_stream`, then
+    one application pick), so memory stays O(1) in the stream length.
+
+    The stream is single-shot: it consumes its generator's RNG while
+    iterating, so a second iteration would continue the RNG stream and
+    silently produce a different workload — it raises instead.
+
+    Raises
+    ------
+    TraceExhaustedError
+        If the arrival process runs out (a non-looping trace) before the
+        arrival clock covers the window.
+    """
+
+    def __init__(
+        self,
+        generator: "WorkloadGenerator",
+        duration_ms: float,
+        *,
+        start_ms: float = 0.0,
+    ) -> None:
+        ensure_positive(duration_ms, "duration_ms")
+        self._generator = generator
+        self._duration_ms = duration_ms
+        self._start_ms = start_ms
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        if self._consumed:
+            raise RuntimeError(
+                "this DurationRequestStream was already iterated; it draws "
+                "from its generator's RNG lazily, so re-iterating would "
+                "produce a different workload — build a fresh stream instead"
+            )
+        self._consumed = True
+        generator = self._generator
+        rng = generator.rng
+        applications = generator.applications
+        factory = generator.workflow_factory
+        probs = _app_probs(generator)
+        intervals = generator.arrival_process.interval_stream(rng)
+        bound = self._start_ms + self._duration_ms
+        clock = self._start_ms
+        req_id = 0
+        while True:
+            try:
+                clock += next(intervals)
+            except StopIteration:
+                raise TraceExhaustedError(
+                    f"arrival process exhausted at {clock:.3f} ms, before "
+                    f"covering the requested window of {self._duration_ms} ms "
+                    f"from {self._start_ms} ms; use a looping trace or a "
+                    f"shorter duration"
+                ) from None
+            if clock > bound:
+                return
+            app_idx = int(rng.choice(len(applications), p=probs))
+            workflow = applications[app_idx]
+            if factory is not None:
+                workflow = factory(workflow)
+            yield clock, Request(
+                request_id=req_id,
+                workflow=workflow,
+                arrival_ms=clock,
+                slo_ms=generator.slo_ms(workflow),
+            )
+            req_id += 1
+
+    def workflows(self) -> dict[str, Workflow]:
+        if self._generator.workflow_factory is not None:
+            raise ValueError(
+                "a streaming simulation cannot pre-register factory-built "
+                "workflows (the factory runs per request, at yield time); "
+                "use materialized generation with workflow_factory"
+            )
+        # Which applications appear is unknown until the stream is consumed,
+        # so a duration-streamed run declares (and warms) all of them.
+        workflows: dict[str, Workflow] = {}
+        for workflow in self._generator.applications:
+            workflows.setdefault(workflow.name, workflow)
+        return workflows

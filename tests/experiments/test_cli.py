@@ -54,6 +54,16 @@ class TestParser:
         )
         assert _cluster_from_args(args).num_invokers == 12
 
+    def test_workload_mode_option(self):
+        from repro.experiments.cli import _config_from_args
+
+        args = build_parser().parse_args(["fig6"])
+        assert args.workload_mode == "materialized"
+        args = build_parser().parse_args(["fig6", "--workload-mode", "streaming"])
+        assert _config_from_args(args).workload_mode == "streaming"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--workload-mode", "bogus"])
+
     def test_invalid_topology_and_invoker_count_fail_cleanly(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--topology", "bogus"])
