@@ -35,6 +35,8 @@ class AquatopePolicy(SchedulingPolicy):
     """Offline-BO-trained static per-stage configurations."""
 
     name = "Aquatope"
+    #: Always reports 0.0 scheduling overhead, so plan timing is skippable.
+    deterministic_overhead = True
 
     def __init__(
         self,

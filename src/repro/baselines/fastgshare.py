@@ -27,6 +27,8 @@ class FaSTGSharePolicy(SchedulingPolicy):
     """Per-function enumeration maximising throughput per vGPU."""
 
     name = "FaST-GShare"
+    #: Always reports 0.0 scheduling overhead, so plan timing is skippable.
+    deterministic_overhead = True
 
     def __init__(self, *, candidates: int = 3) -> None:
         """Create the policy.

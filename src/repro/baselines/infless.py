@@ -29,6 +29,8 @@ class INFlessPolicy(SchedulingPolicy):
     """Per-function enumeration maximising throughput under a stage sub-SLO."""
 
     name = "INFless"
+    #: Always reports 0.0 scheduling overhead, so plan timing is skippable.
+    deterministic_overhead = True
 
     def __init__(self, *, candidates: int = 3, resource_weight_vgpu: float = 2.0) -> None:
         """Create the policy.

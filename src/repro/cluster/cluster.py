@@ -153,6 +153,13 @@ class ClusterState:
     _free_vgpus: int = field(init=False, repr=False)
     _warm_index: dict[str, set[int]] = field(init=False, repr=False)
     _live_counts: dict[str, int] = field(init=False, repr=False)
+    _home_cache: dict[tuple[str, str], int] | None = field(init=False, repr=False)
+    #: ``loop_mode="fast"``: defer capacity-bucket moves until a query needs
+    #: them.  ``None`` = eager (the compat anchor); otherwise maps invoker id
+    #: -> the bucket its pending move starts from.  A reserve/release pair
+    #: with no capacity query in between cancels to a no-op instead of four
+    #: heap operations.
+    _pending_moves: dict[int, tuple[int, int]] | None = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.invokers = [
@@ -182,6 +189,8 @@ class ClusterState:
         self._free_vgpus = self.config.total_vgpus
         self._warm_index = {}
         self._live_counts = {}
+        self._home_cache = None
+        self._pending_moves = None
 
     # ------------------------------------------------------------------
     # Index maintenance (invoked by the invokers' change callbacks)
@@ -189,13 +198,44 @@ class ClusterState:
     def _capacity_changed(self, invoker: Invoker) -> None:
         i = invoker.invoker_id
         old = self._bucket_of[i]
-        new = (invoker.available_vcpus, invoker.available_vgpus)
+        new = (invoker.total_vcpus - invoker._used_vcpus, invoker.gpu.total_vgpus - invoker.gpu._used_vgpus)
         if new == old:
             return
         self._free_vcpus += new[0] - old[0]
         self._free_vgpus += new[1] - old[1]
-        self._capacity.move(old, new, i)
         self._bucket_of[i] = new
+        pending = self._pending_moves
+        if pending is not None:
+            origin = pending.get(i)
+            if origin is None:
+                pending[i] = old
+            elif origin == new:
+                # The node is back in the bucket every index reader last
+                # saw: both heap moves cancel.
+                del pending[i]
+            return
+        self._capacity.move(old, new, i)
+
+    def enable_lazy_capacity(self) -> None:
+        """Defer capacity-bucket maintenance to query time (fast mode).
+
+        The free-capacity counters stay exact on every change; only the
+        bucket membership moves are batched, flushed by
+        :meth:`_flush_capacity_moves` before any read of the bucket index.
+        Readers therefore observe exactly the state the eager path would
+        have built.
+        """
+        if self._pending_moves is None:
+            self._pending_moves = {}
+
+    def _flush_capacity_moves(self) -> None:
+        pending = self._pending_moves
+        if pending:
+            capacity = self._capacity
+            bucket_of = self._bucket_of
+            for i, origin in pending.items():
+                capacity.move(origin, bucket_of[i], i)
+            pending.clear()
 
     def _containers_changed(self, invoker: Invoker, function_name: str, live_delta: int) -> None:
         if live_delta:
@@ -240,8 +280,26 @@ class ClusterState:
         same function can land on different homes (matching the AFW-queue
         separation of the paper).
         """
+        cache = self._home_cache
+        if cache is not None:
+            key = (app_name, function_name)
+            home = cache.get(key)
+            if home is None:
+                home = self._hash_home(app_name, function_name)
+                cache[key] = home
+            return home
+        return self._hash_home(app_name, function_name)
+
+    def _hash_home(self, app_name: str, function_name: str) -> int:
         digest = hashlib.sha256(f"{app_name}/{function_name}".encode()).digest()
         return int.from_bytes(digest[:4], "big") % len(self.invokers)
+
+    def enable_home_cache(self) -> None:
+        """Memoize :meth:`home_invoker_id` (pure in its arguments and the
+        fixed cluster size), used by ``loop_mode="fast"`` runs to avoid a
+        sha256 digest per locality decision."""
+        if self._home_cache is None:
+            self._home_cache = {}
 
     # ------------------------------------------------------------------
     # Cluster-wide queries
@@ -249,6 +307,7 @@ class ClusterState:
     def invokers_that_fit(self, config: Configuration) -> tuple[Invoker, ...]:
         """Invokers that currently have room for ``config`` (ordered by id)."""
         if self._indexed:
+            self._flush_capacity_moves()
             ids = sorted(self._capacity.fitting_ids(config.vcpus, config.vgpus))
             return tuple(self.invokers[i] for i in ids)
         return tuple(inv for inv in self.invokers if inv.can_fit(config))
@@ -305,6 +364,7 @@ class ClusterState:
         per *bucket* instead of per node.
         """
         if self._indexed:
+            self._flush_capacity_moves()
             best_key: object | None = None
             best_id: int | None = None
             for (cpu, gpu), _members in self._capacity.iter_nonempty():

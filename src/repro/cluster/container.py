@@ -39,9 +39,9 @@ class ContainerState(enum.Enum):
     STOPPED = "stopped"
 
 
-@dataclass
+@dataclass(slots=True)
 class Container:
-    """One function's residency on one invoker."""
+    """One function's residency on one invoker (slotted: hot-path record)."""
 
     function_name: str
     invoker_id: int

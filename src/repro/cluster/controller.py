@@ -34,11 +34,14 @@ from repro.cluster.tasks import Task
 from repro.profiles.configuration import Configuration
 from repro.profiles.perf_model import PerformanceModel
 from repro.profiles.pricing import PricingModel
+from repro.profiles.specs import FunctionSpec
 from repro.profiles.profiler import ProfileStore
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Job, Request
 
 __all__ = ["ControllerConfig", "Controller"]
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,16 @@ class Controller:
     prewarmer: PrewarmManager | None = None
     #: Callback used to emit new events into the simulation's event loop.
     event_sink: Callable[[Event], None] = field(default=lambda event: None)
+    #: ``loop_mode="fast"``: the simulation's FastEventLoop, set by the
+    #: simulator so the hot dispatch/expiry paths can push heap entries
+    #: directly instead of going through ``event_sink``; ``None`` keeps
+    #: every emission on the sink callback (the compat anchor, and any
+    #: embedder that wires a custom sink).
+    fast_events: "object | None" = field(default=None, repr=False)
+    #: ``loop_mode="fast"``: gate per-tick memoization (profile-spec
+    #: lookups in :meth:`_dispatch`).  Compat mode keeps the original
+    #: per-call lookups as the byte-identity parity anchor.
+    fast_mode: bool = False
 
     _queues: dict[tuple[str, str], AFWQueue] = field(default_factory=dict, repr=False)
     _workflows: dict[str, Workflow] = field(default_factory=dict, repr=False)
@@ -100,11 +113,34 @@ class Controller:
     #: matter how same-timestamp events interleave in the simulation loop.
     _expiry_heap: list[tuple[float, int, Container]] = field(default_factory=list, repr=False)
     _expiry_seq: "itertools.count[int]" = field(default_factory=itertools.count, repr=False)
+    #: Fast-mode memo: function name -> profiled FunctionSpec (immutable for
+    #: the life of a run; compat mode re-reads the profile store per dispatch).
+    _spec_cache: dict[str, "FunctionSpec"] = field(default_factory=dict, repr=False)
+    #: Fast-mode memo: one canonical :class:`Configuration` per
+    #: ``(batch, vcpus, vgpus)`` shape, replacing the fresh frozen-dataclass
+    #: allocation (plus validation) every clip would otherwise pay.
+    _batch_cache: dict[tuple[int, int, int], Configuration] = field(
+        default_factory=dict, repr=False
+    )
+    #: Fast-mode memo: ``(vcpus, vgpus)`` -> price rate in cents/ms.
+    _rate_cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+    #: Fast-mode memo: function name -> ``(local, remote)`` transfer latency
+    #: (pure in the function's input size and the fixed transfer model).
+    _transfer_cache: dict[str, tuple[float, float]] = field(
+        default_factory=dict, repr=False
+    )
 
-    @property
-    def _indexed(self) -> bool:
-        """True when the cluster runs in indexed (event-driven expiry) mode."""
-        return self.cluster.indexed
+    def __post_init__(self) -> None:
+        # The cluster's index mode and the collector's storage mode are both
+        # frozen at construction, so snapshot them once instead of chasing
+        # the property chains on every tick.
+        self._indexed: bool = self.cluster.indexed
+        self._metrics_streaming: bool = self.metrics.is_streaming
+        # Policies that model their scheduling overhead deterministically
+        # let the fast path skip the wall-clock measurement around plan().
+        self._skip_plan_timing: bool = self.fast_mode and getattr(
+            self.policy, "deterministic_overhead", False
+        )
 
     # ------------------------------------------------------------------
     # Setup
@@ -187,6 +223,44 @@ class Controller:
     # ------------------------------------------------------------------
     def on_request_arrival(self, request: Request, now_ms: float) -> None:
         """Register a new request and enqueue its source-stage jobs."""
+        if self.fast_mode:
+            workflow = request.workflow
+            app_name = workflow.name
+            self._workflows.setdefault(app_name, workflow)
+            # Inlined ``metrics.register_request`` (live collector).
+            metrics = self.metrics
+            if self._metrics_streaming:
+                metrics._total.registered += 1
+                acc = metrics._per_app.get(app_name)
+                if acc is None:
+                    acc = metrics._app(app_name)
+                acc.registered += 1
+                if acc.slo_ms is None:
+                    acc.slo_ms = request.slo_ms
+                if request.completed_ms is not None:
+                    # Synthetic feeds may register pre-completed requests.
+                    metrics._fold_completion_fast(request)
+            else:
+                metrics.requests.append(request)
+            topo = workflow.topology()
+            queues = self._queues
+            nonempty = self._nonempty
+            for stage_id in topo.sources:
+                key = (app_name, stage_id)
+                queue = queues.get(key)
+                if queue is None:
+                    queue = self.queue_for(app_name, stage_id)
+                # Inlined ``queue.push``: the job key always matches the
+                # queue here, so the defensive validation and the listener
+                # indirection reduce to the append plus the two counters.
+                queue.jobs.append(Job(request=request, stage_id=stage_id, ready_ms=now_ms))
+                self._pending_jobs += 1
+                nonempty.add(key)
+            prewarmer = self.prewarmer
+            if prewarmer is not None:
+                for stage in topo.stages:
+                    prewarmer.observe_arrival(app_name, stage.function_name, now_ms)
+            return
         self.register_workflow(request.workflow)
         self.metrics.register_request(request)
         for stage_id in request.workflow.sources():
@@ -198,6 +272,9 @@ class Controller:
 
     def on_task_completion(self, task: Task, now_ms: float) -> None:
         """Release resources, advance requests, enqueue successor jobs."""
+        if self.fast_mode:
+            self._on_task_completion_fast(task, now_ms)
+            return
         invoker = self.cluster.invoker(task.invoker_id)
         invoker.release(task.config)
         container = self._task_containers.pop(task.task_id, None)
@@ -217,6 +294,84 @@ class Controller:
                 if request.stage_is_ready(succ):
                     queue = self.queue_for(request.app_name, succ)
                     queue.push(Job(request=request, stage_id=succ, ready_ms=now_ms))
+
+    def _on_task_completion_fast(self, task: Task, now_ms: float) -> None:
+        """``loop_mode="fast"`` variant of :meth:`on_task_completion`.
+
+        Same observable effects with the constant costs stripped: the
+        resource release mutates the counters directly (the reserve/release
+        pairing is controller-internal, so the defensive re-validation is
+        skipped) and ends in the same single capacity notification; stage
+        bookkeeping reads the workflow's cached topology instead of
+        re-copying adjacency lists, and the request-completion fold keeps
+        the original ``max`` over sink completion times.
+        """
+        invoker_id = task.invoker_id
+        invoker = self.cluster.invokers[invoker_id]
+        config = task.config
+        invoker.gpu._used_vgpus -= config.vgpus
+        invoker._used_vcpus -= config.vcpus
+        # Inlined ``invoker._capacity_changed`` (one frame less per event).
+        if not invoker._suspend_capacity_notify:
+            capacity_cb = invoker._on_capacity_change
+            if capacity_cb is not None:
+                capacity_cb(invoker)
+        container = self._task_containers.pop(task.task_id, None)
+        if container is not None:
+            # Inlined ``container.release_task``: the reserve/assign pairing
+            # guarantees an active BUSY container, and the BUSY -> WARM
+            # transition is invisible to the invoker's state listener (both
+            # states are resident), so only the counters change.
+            container.active_tasks -= 1
+            if container.active_tasks == 0:
+                container.expires_at_ms = now_ms + invoker.keep_alive_ms
+                container.state = ContainerState.WARM
+                self._arm_expiry(container)
+
+        stage_id = task.stage_id
+        app_name = task.app_name
+        metrics = self.metrics
+        streaming = self._metrics_streaming
+        queues = self._queues
+        for job in task.jobs:
+            request = job.request
+            topo = request.workflow.topology()
+            scm = request.stage_completion_ms
+            if stage_id in scm:
+                raise ValueError(
+                    f"stage {stage_id!r} of request {request.request_id} completed twice"
+                )
+            was_complete = request.completed_ms is not None
+            scm[stage_id] = now_ms
+            request.stage_invoker[stage_id] = invoker_id
+            sinks = topo.sinks
+            for sink in sinks:
+                if sink not in scm:
+                    break
+            else:
+                if len(sinks) == 1:
+                    request.completed_ms = scm[sinks[0]]
+                else:
+                    request.completed_ms = max(scm[sink] for sink in sinks)
+                if not was_complete and streaming:
+                    # Retained mode derives completion by scanning, so only
+                    # the streaming fold is charged here.
+                    metrics._fold_completion_fast(request)
+            successors = topo.succ[stage_id]
+            if successors:
+                pred_of = topo.pred
+                for succ in successors:
+                    for pred in pred_of[succ]:
+                        if pred not in scm:
+                            break
+                    else:
+                        key = (app_name, succ)
+                        queue = queues.get(key)
+                        if queue is None:
+                            queue = self.queue_for(app_name, succ)
+                        queue.jobs.append(Job(request=request, stage_id=succ, ready_ms=now_ms))
+                        self._pending_jobs += 1
+                        self._nonempty.add(key)
 
     def on_prewarm_complete(self, container: Container, now_ms: float) -> None:
         """A prewarmed container finished its cold start."""
@@ -243,13 +398,22 @@ class Controller:
             and container.state is ContainerState.WARM
             and container.expires_at_ms != float("inf")
         ):
+            deadline = container.expires_at_ms
             heapq.heappush(
                 self._expiry_heap,
-                (container.expires_at_ms, next(self._expiry_seq), container),
+                (deadline, next(self._expiry_seq), container),
             )
-            self.event_sink(
-                ContainerExpireEvent(time_ms=container.expires_at_ms, container=container)
-            )
+            fe = self.fast_events
+            if fe is not None:
+                # Inlined ``FastEventLoop.push`` for the housekeeping heap:
+                # ContainerExpireEvent keeps the default sort priority 1 and
+                # its deadline (now + keep-alive) is always >= 0.
+                heapq.heappush(
+                    fe._housekeeping,
+                    (deadline, 1, next(fe._counter), ContainerExpireEvent(time_ms=deadline, container=container)),
+                )
+            else:
+                self.event_sink(ContainerExpireEvent(time_ms=deadline, container=container))
 
     def _drain_expired_containers(self, now_ms: float) -> None:
         """Stop every armed container whose deadline has passed (<= now)."""
@@ -301,19 +465,26 @@ class Controller:
         """
         if self._indexed:
             keys = self._all_keys_sorted()
+            if not keys:
+                return 0
+            n = len(keys)
+            if self.fast_mode and len(self._nonempty) <= 1:
+                # Rotating a list of at most one element is the identity, so
+                # the pivot lookup and bisect split are skipped outright —
+                # the common shape of single-application streaming runs.
+                order = list(self._nonempty)
+            else:
+                pivot = keys[self._rr_offset % n]
+                nonempty = sorted(self._nonempty)
+                split = bisect_left(nonempty, pivot)
+                order = nonempty[split:] + nonempty[:split]
         else:
             keys = sorted(self._queues)
-        if not keys:
-            return 0
-        n = len(keys)
-        dispatched = 0
-        if self._indexed:
-            pivot = keys[self._rr_offset % n]
-            nonempty = sorted(self._nonempty)
-            split = bisect_left(nonempty, pivot)
-            order = nonempty[split:] + nonempty[:split]
-        else:
+            if not keys:
+                return 0
+            n = len(keys)
             order = [keys[(self._rr_offset + i) % n] for i in range(n)]
+        dispatched = 0
         self._rr_offset = (self._rr_offset + 1) % n
 
         for key in order:
@@ -341,6 +512,8 @@ class Controller:
 
     def _process_recheck_list(self, now_ms: float) -> int:
         """Retry queues parked in the recheck list; force-dispatch stale ones."""
+        if not self._recheck:
+            return 0
         dispatched = 0
         for key in list(self._recheck):
             queue = self._queues[key]
@@ -363,16 +536,55 @@ class Controller:
 
     def _try_schedule_queue(self, queue: AFWQueue, now_ms: float) -> bool:
         """Plan + dispatch one queue; returns True if a task was dispatched."""
-        start = _time.perf_counter()
-        decision = self.policy.plan(queue, now_ms)
-        measured_ms = (_time.perf_counter() - start) * 1000.0
-        if decision is None:
+        if self._skip_plan_timing:
+            # The policy models its overhead deterministically, so the
+            # wall-clock measurement around plan() would be discarded.
+            decision = self.policy.plan(queue, now_ms)
+            if decision is None:
+                return False
+            overhead_ms = decision.reported_overhead_ms
+            if overhead_ms is None:
+                overhead_ms = 0.0
+        else:
+            start = _time.perf_counter()
+            decision = self.policy.plan(queue, now_ms)
+            measured_ms = (_time.perf_counter() - start) * 1000.0
+            if decision is None:
+                return False
+            overhead_ms = (
+                decision.reported_overhead_ms
+                if decision.reported_overhead_ms is not None
+                else measured_ms
+            )
+
+        if self.fast_mode:
+            # Inlined ``metrics.record_overhead`` (live collector).
+            if overhead_ms < 0:
+                raise ValueError(f"overhead must be >= 0, got {overhead_ms}")
+            self.metrics.overhead_ms_samples.append(overhead_ms)
+            if decision.used_preplanned:
+                self.metrics.record_plan_attempt(miss=decision.plan_miss)
+            qlen = len(queue.jobs)
+            select_invoker = self.policy.select_invoker
+            invokers = self.cluster.invokers
+            for candidate in decision.candidates:
+                if candidate.batch_size > qlen:
+                    config = self._config_with_batch(candidate, qlen if qlen else 1)
+                else:
+                    config = candidate
+                invoker_id = select_invoker(config, queue, now_ms)
+                if invoker_id is None:
+                    continue
+                invoker = invokers[invoker_id]
+                if config.vcpus > invoker.total_vcpus - invoker._used_vcpus:
+                    continue
+                gpu = invoker.gpu
+                if config.vgpus > gpu.total_vgpus - gpu._used_vgpus:
+                    continue
+                self._dispatch_fast(queue, config, invoker_id, now_ms, overhead_ms)
+                return True
             return False
-        overhead_ms = (
-            decision.reported_overhead_ms
-            if decision.reported_overhead_ms is not None
-            else measured_ms
-        )
+
         self.metrics.record_overhead(overhead_ms)
         if decision.used_preplanned:
             self.metrics.record_plan_attempt(miss=decision.plan_miss)
@@ -409,6 +621,20 @@ class Controller:
             return config.with_batch(max(1, len(queue)))
         return config
 
+    def _config_with_batch(self, config: Configuration, batch_size: int) -> Configuration:
+        """Canonical clipped configuration (fast mode).
+
+        Equal by value to ``config.with_batch(batch_size)``; the memo keeps
+        one frozen instance per shape so repeated clips cost a dict lookup
+        instead of an allocation plus field validation.
+        """
+        key = (batch_size, config.vcpus, config.vgpus)
+        cached = self._batch_cache.get(key)
+        if cached is None:
+            cached = config.with_batch(batch_size)
+            self._batch_cache[key] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -421,6 +647,8 @@ class Controller:
         overhead_ms: float,
     ) -> Task:
         """Create the task, charge its latency components, reserve resources."""
+        if self.fast_mode:
+            return self._dispatch_fast(queue, config, invoker_id, now_ms, overhead_ms)
         invoker = self.cluster.invoker(invoker_id)
         spec = self.profile_store.profile(queue.function_name).spec
         jobs = queue.pop_batch(min(config.batch_size, len(queue)))
@@ -481,4 +709,200 @@ class Controller:
         self._task_containers[task.task_id] = container
         self.metrics.record_task(task)
         self.event_sink(TaskCompletionEvent(time_ms=task.finish_ms, task=task))
+        return task
+
+    def _dispatch_fast(
+        self,
+        queue: AFWQueue,
+        config: Configuration,
+        invoker_id: int,
+        now_ms: float,
+        overhead_ms: float,
+    ) -> Task:
+        """``loop_mode="fast"`` variant of :meth:`_dispatch`.
+
+        Builds the identical task with the per-dispatch constant costs
+        memoized: the function spec, the clipped configuration, the two
+        possible transfer latencies and the price rate are each pure in
+        run-constant inputs, and the residency scan / resource reservation
+        mutate the same counters the invoker methods would.  Every float is
+        produced by the same operations in the same order as the compat
+        path (``duration = cold + transfer + exec``, ``finish = (dispatch +
+        overhead) + duration``, ``cost = rate * duration``), so summaries
+        stay byte-identical.
+        """
+        invoker = self.cluster.invokers[invoker_id]
+        function_name = queue.function_name
+        spec = self._spec_cache.get(function_name)
+        if spec is None:
+            spec = self.profile_store.profile(function_name).spec
+            self._spec_cache[function_name] = spec
+        job_deque = queue.jobs
+        qlen = len(job_deque)
+        batch = config.batch_size
+        # Inlined ``queue.pop_batch``: callers guarantee a non-empty queue
+        # and a positive batch, so validation and the listener indirection
+        # reduce to the poplefts plus the two counters.
+        njobs = batch if batch < qlen else qlen
+        popleft = job_deque.popleft
+        jobs = [popleft() for _ in range(njobs)]
+        self._pending_jobs -= njobs
+        if not job_deque:
+            self._nonempty.discard((queue.app_name, queue.stage_id))
+        effective = self._config_with_batch(config, njobs) if njobs != batch else config
+
+        container = None
+        for candidate in invoker._live.get(function_name, ()):
+            state = candidate.state
+            if state is ContainerState.BUSY or (
+                state is ContainerState.WARM
+                and candidate.warm_at_ms <= now_ms < candidate.expires_at_ms
+            ):
+                container = candidate
+                break
+        if container is not None:
+            cold_ms = 0.0
+            # Inlined ``container.assign_task``: the container is resident
+            # (WARM or BUSY), and the WARM -> BUSY edge is invisible to the
+            # invoker's state listener, so only the counters change.
+            container.active_tasks += 1
+            container.expires_at_ms = _INF
+            container.state = ContainerState.BUSY
+        else:
+            cold_ms = spec.cold_start_ms
+            container = Container(
+                function_name=function_name,
+                invoker_id=invoker_id,
+                state=ContainerState.STARTING,
+                warm_at_ms=now_ms + cold_ms,
+            )
+            invoker.add_container(container)
+            # STARTING -> BUSY must go through the listener (it maintains
+            # the resident-candidate index), so the cold path keeps the
+            # regular transition.
+            container.assign_task()
+
+        transfers = self._transfer_cache.get(function_name)
+        if transfers is None:
+            transfers = (
+                self.transfer_model.local_transfer_ms(spec.input_mb),
+                self.transfer_model.remote_transfer_ms(spec.input_mb),
+            )
+            self._transfer_cache[function_name] = transfers
+        local_transfer, remote_transfer = transfers
+
+        metrics = self.metrics
+        stage_id = queue.stage_id
+        transfer_ms = 0.0
+        for job in jobs:
+            request = job.request
+            preds = request.workflow.topology().pred[stage_id]
+            if not preds:
+                job_transfer = remote_transfer
+                metrics.remote_transfers += 1
+            else:
+                stage_invoker = request.stage_invoker
+                if len(preds) == 1:
+                    pred_invoker = stage_invoker.get(preds[0])
+                else:
+                    done = [p for p in preds if p in stage_invoker]
+                    if done:
+                        scm = request.stage_completion_ms
+                        pred_invoker = stage_invoker[max(done, key=scm.__getitem__)]
+                    else:
+                        pred_invoker = None
+                if pred_invoker == invoker_id:
+                    job_transfer = local_transfer
+                    metrics.local_transfers += 1
+                else:
+                    job_transfer = remote_transfer
+                    metrics.remote_transfers += 1
+            if job_transfer > transfer_ms:
+                transfer_ms = job_transfer
+
+        exec_ms = self.runtime_perf_model.latency_ms(spec, effective)
+        charged_overhead = overhead_ms if self.config.count_overhead_in_latency else 0.0
+        duration_ms = cold_ms + transfer_ms + exec_ms
+
+        task = Task(
+            app_name=queue.app_name,
+            stage_id=stage_id,
+            function_name=function_name,
+            jobs=jobs,
+            config=effective,
+            invoker_id=invoker_id,
+            dispatch_ms=now_ms,
+            overhead_ms=charged_overhead,
+            cold_start_ms=cold_ms,
+            transfer_ms=transfer_ms,
+            exec_ms=exec_ms,
+            policy_name=self.policy.name,
+        )
+        rate_key = (effective.vcpus, effective.vgpus)
+        rate = self._rate_cache.get(rate_key)
+        if rate is None:
+            rate = self.pricing.rate_cents_per_ms(effective)
+            self._rate_cache[rate_key] = rate
+        task.cost_cents = rate * duration_ms
+
+        invoker.gpu._used_vgpus += effective.vgpus
+        invoker._used_vcpus += effective.vcpus
+        # Inlined ``invoker._capacity_changed`` (one frame less per task).
+        if not invoker._suspend_capacity_notify:
+            capacity_cb = invoker._on_capacity_change
+            if capacity_cb is not None:
+                capacity_cb(invoker)
+        self._task_containers[task.task_id] = container
+
+        # Inlined ``metrics.record_task`` (live collector): identical float
+        # expressions — ``start = dispatch + overhead``, ``finish = start +
+        # duration``, and the horizon clamps of charged_duration_ms /
+        # charged_cost_cents — on the values already in hand.
+        if cold_ms > 0.0:
+            metrics.cold_starts += 1
+        else:
+            metrics.warm_starts += 1
+        if self._metrics_streaming:
+            start_ms = now_ms + charged_overhead
+            finish_ms = start_ms + duration_ms
+            horizon = metrics.horizon_ms
+            if finish_ms <= horizon:
+                cost = task.cost_cents
+                held_ms = duration_ms
+            else:
+                held_ms = horizon - start_ms
+                if held_ms < 0.0:
+                    held_ms = 0.0
+                cost = (
+                    task.cost_cents * (held_ms / duration_ms)
+                    if duration_ms > 0.0
+                    else 0.0
+                )
+            metrics._total.cost_cents += cost
+            acc = metrics._per_app.get(task.app_name)
+            if acc is None:
+                acc = metrics._app(task.app_name)
+            acc.cost_cents += cost
+            metrics._vgpu_ms += effective.vgpus * held_ms
+            metrics._vcpu_ms += effective.vcpus * held_ms
+            # ``task.waiting_ms()`` with the same left-to-right fold: the
+            # genexp sum starts at (int) 0, whose first addition is exact.
+            waiting = 0
+            for job in jobs:
+                delay = now_ms - job.ready_ms
+                waiting += delay if delay > 0.0 else 0.0
+            metrics._waiting_ms.append(waiting / njobs)
+        else:
+            metrics.tasks.append(task)
+
+        finish = now_ms + charged_overhead + duration_ms
+        fe = self.fast_events
+        if fe is not None:
+            # Inlined ``FastEventLoop.push``: TaskCompletionEvent is a real
+            # (non-housekeeping) event with the default sort priority 1, and
+            # ``finish`` >= ``now_ms`` >= 0 so the push-time validation is
+            # statically satisfied.
+            heapq.heappush(fe._real, (finish, 1, next(fe._counter), TaskCompletionEvent(time_ms=finish, task=task)))
+        else:
+            self.event_sink(TaskCompletionEvent(time_ms=finish, task=task))
         return task

@@ -31,9 +31,16 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
-    """Base class: something that happens at an absolute simulation time."""
+    """Base class: something that happens at an absolute simulation time.
+
+    Events are slotted and carry no per-instance ``__post_init__``: millions
+    of them are created per large run, so the ``time_ms >= 0`` invariant is
+    enforced once at the scheduling boundary (``EventLoop.push``) instead of
+    per construction.  Subclasses defined outside this module may omit
+    ``slots=True``; they simply keep a ``__dict__``.
+    """
 
     #: Housekeeping events (e.g. container-expiry timers) never keep a run
     #: alive on their own: the simulator drains them only while productive
@@ -53,10 +60,6 @@ class Event:
 
     time_ms: float
 
-    def __post_init__(self) -> None:
-        if self.time_ms < 0:
-            raise ValueError(f"event time must be >= 0, got {self.time_ms}")
-
     def apply(self, simulation: "Simulation") -> None:
         """Perform this event's state transition on ``simulation``."""
         raise NotImplementedError(
@@ -64,7 +67,7 @@ class Event:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestArrivalEvent(Event):
     """A new application request arrives at the platform."""
 
@@ -76,7 +79,7 @@ class RequestArrivalEvent(Event):
         simulation.controller.on_request_arrival(self.request, simulation.now_ms)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskCompletionEvent(Event):
     """A dispatched task finishes executing on its invoker."""
 
@@ -86,7 +89,7 @@ class TaskCompletionEvent(Event):
         simulation.controller.on_task_completion(self.task, simulation.now_ms)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedulerTickEvent(Event):
     """Periodic controller tick: scan the AFW queues round-robin.
 
@@ -99,7 +102,7 @@ class SchedulerTickEvent(Event):
         simulation.controller.on_tick(simulation.now_ms)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrewarmCompleteEvent(Event):
     """A prewarmed container finishes its cold start and becomes warm."""
 
@@ -109,7 +112,7 @@ class PrewarmCompleteEvent(Event):
         simulation.controller.on_prewarm_complete(self.container, simulation.now_ms)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContainerExpireEvent(Event):
     """An idle warm container's keep-alive timer elapses.
 

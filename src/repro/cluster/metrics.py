@@ -419,6 +419,44 @@ class MetricsCollector:
         self._total.fold_completion(request)
         acc.fold_completion(request)
 
+    def _fold_completion_fast(self, request: Request) -> None:
+        """``loop_mode="fast"`` streaming fold (same observable state).
+
+        Folds the identical sample into the identical buffers with the
+        per-call constants stripped: the latency/SLO properties are inlined
+        (``latency = completed - arrival``, ``hit = latency <= slo``) and
+        the Welford :class:`RunningStats` update is deferred —
+        :meth:`latency_running_stats` replays the buffered samples in fold
+        order on first read, which reproduces the eager update sequence
+        exactly.  The misuse guard is kept.
+        """
+        app_name = request.workflow.name
+        acc = self._per_app.get(app_name)
+        if acc is None:
+            acc = self._per_app[app_name] = _AppAccumulator()
+        if acc.completed >= acc.registered:
+            raise ValueError(
+                f"completion of request {request.request_id} would exceed the "
+                f"registered request count of app {app_name!r}; was the "
+                "request registered, and its completion recorded only once?"
+            )
+        completed_ms = request.completed_ms
+        latency = completed_ms - request.arrival_ms
+        hit = latency <= request.slo_ms
+        request_id = request.request_id
+        total = self._total
+        total.completed += 1
+        acc.completed += 1
+        if hit:
+            total.slo_hits += 1
+            acc.slo_hits += 1
+        total.completed_ms.append(completed_ms)
+        acc.completed_ms.append(completed_ms)
+        total.request_ids.append(request_id)
+        acc.request_ids.append(request_id)
+        total.latency_ms.append(latency)
+        acc.latency_ms.append(latency)
+
     def record_task(self, task: Task) -> None:
         """Record a dispatched task and its latency breakdown."""
         self._check_not_placeholder()
@@ -560,7 +598,17 @@ class MetricsCollector:
                 "retained mode can summarize(latencies_ms()) instead"
             )
         acc = self._total if app_name is None else self._per_app.get(app_name)
-        return acc.latency_stats if acc is not None else RunningStats()
+        if acc is None:
+            return RunningStats()
+        if acc.latency_stats.count != len(acc.latency_ms):
+            # Fast-mode folds defer the Welford updates; replaying the
+            # buffered samples in fold order reproduces the eager update
+            # sequence bit for bit.
+            stats = RunningStats()
+            for sample in acc.latency_ms:
+                stats.update(sample)
+            acc.latency_stats = stats
+        return acc.latency_stats
 
     def total_cost_cents(self, app_name: str | None = None) -> float:
         """Sum of task costs (optionally of one application).

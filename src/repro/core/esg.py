@@ -19,11 +19,12 @@ do).
 from __future__ import annotations
 
 from repro.cluster.policy_api import AFWQueue, SchedulingDecision, SchedulingContext, SchedulingPolicy
-from repro.core.dispatch import locality_first_invoker
+from repro.core.dispatch import locality_first_invoker, locality_first_invoker_fast
 from repro.core.dominator import SLODistribution, distribute_slo
 from repro.core.esg_1q import StageSearchSpec, esg_1q_search
 from repro.profiles.configuration import Configuration
 from repro.profiles.profiler import FunctionProfile, ProfileEntry
+from repro.workloads.request import Request
 
 __all__ = ["ESGPolicy"]
 
@@ -112,11 +113,20 @@ class ESGPolicy(SchedulingPolicy):
         if per_expansion_ms is not None and per_expansion_ms < 0:
             raise ValueError(f"per_expansion_ms must be >= 0, got {per_expansion_ms}")
         self.per_expansion_ms = per_expansion_ms
+        # With a modeled overhead the wall-clock plan timing is discarded
+        # anyway, so the fast loop may skip measuring it.
+        self.deterministic_overhead = per_expansion_ms is not None
         if name is not None:
             self.name = name
         self._distributions: dict[str, SLODistribution] = {}
         self._plan_cache_enabled = plan_cache and per_expansion_ms is not None
         self._plan_cache: dict[tuple, SchedulingDecision] = {}
+        #: Fast-mode memo for :meth:`_group_and_target` on *fresh* requests
+        #: (no stage completed yet): their remaining-stage set is the whole
+        #: workflow, so the group stages and both fraction sums are a pure
+        #: function of (app, stage).  Only the remaining-budget factor is
+        #: per-request; it is applied with the original operation order.
+        self._fresh_group_cache: dict[tuple[str, str], tuple[tuple[str, ...], float, float]] = {}
 
     # ------------------------------------------------------------------
     # SchedulingPolicy lifecycle
@@ -132,6 +142,7 @@ class ESGPolicy(SchedulingPolicy):
     def invalidate_plan_cache(self) -> None:
         """Drop memoized plans (call after changing profiles or distributions)."""
         self._plan_cache.clear()
+        self._fresh_group_cache.clear()
 
     def distribution_for(self, app_name: str) -> SLODistribution:
         """The SLO distribution of an application (computed lazily if needed)."""
@@ -198,11 +209,44 @@ class ESGPolicy(SchedulingPolicy):
         what makes ESG adaptive: delays in earlier stages automatically
         shrink (and slack grows) the quota of later groups.
         """
+        jobs = queue.jobs
+        if self.fast_mode and len(jobs) == 1:
+            # min() over a single job is that job; skip the urgency scan.
+            request = jobs[0].request
+        else:
+            request = queue.most_urgent_request(now_ms)
+        if (
+            self.fast_mode
+            and not request.stage_completion_ms
+            and self._context is not None
+            and self._context.workflows.get(queue.app_name) is request.workflow
+        ):
+            # Fresh request of the app's registered workflow: the remaining
+            # set is every stage, so everything except the budget factor is
+            # memoizable per (app, stage).  Factory-built per-request
+            # workflows fail the identity check and take the exact path.
+            key = (queue.app_name, queue.stage_id)
+            cached = self._fresh_group_cache.get(key)
+            if cached is None:
+                cached = self._fresh_group_and_fractions(queue, request)
+                self._fresh_group_cache[key] = cached
+            group_ids, group_remaining, remaining_total = cached
+            group_stage_ids = list(group_ids)
+            # Inlined ``request.remaining_budget_ms``: same (arrival + slo)
+            # - now association as the deadline_ms property composition.
+            remaining_budget = request.arrival_ms + request.slo_ms - now_ms
+            headroom = 1.0 - self.safety_margin
+            if remaining_total <= 0.0:
+                return group_stage_ids, remaining_budget * headroom
+            return (
+                group_stage_ids,
+                remaining_budget * headroom * group_remaining / remaining_total,
+            )
+
         dist = self.distribution_for(queue.app_name)
         group = dist.group_of(queue.stage_id)
         group_stage_ids = list(group.stages_from(queue.stage_id))
 
-        request = queue.most_urgent_request(now_ms)
         remaining_budget = request.remaining_budget_ms(now_ms)
         remaining = set(request.remaining_stage_ids())
         remaining.add(queue.stage_id)
@@ -220,6 +264,22 @@ class ESGPolicy(SchedulingPolicy):
             group_stage_ids,
             remaining_budget * headroom * group_remaining / remaining_total,
         )
+
+    def _fresh_group_and_fractions(
+        self, queue: AFWQueue, request: Request
+    ) -> tuple[tuple[str, ...], float, float]:
+        """Compute the memoized fresh-request triple with the exact float
+        fold order of :meth:`_group_and_target`'s general path."""
+        dist = self.distribution_for(queue.app_name)
+        group = dist.group_of(queue.stage_id)
+        group_stage_ids = list(group.stages_from(queue.stage_id))
+        remaining = set(request.remaining_stage_ids())
+        remaining.add(queue.stage_id)
+        remaining_total = sum(dist.stage_fraction(sid) for sid in sorted(remaining))
+        group_remaining = sum(
+            dist.stage_fraction(sid) for sid in group_stage_ids if sid in remaining
+        )
+        return tuple(group_stage_ids), group_remaining, remaining_total
 
     def _stage_specs(self, queue: AFWQueue, group_stage_ids: list[str]) -> list[StageSearchSpec]:
         """Build the per-stage search inputs, applying the ablation filters."""
@@ -314,7 +374,32 @@ class ESGPolicy(SchedulingPolicy):
         self, config: Configuration, queue: AFWQueue, now_ms: float
     ) -> int | None:
         """ESG_Dispatch: predecessor node, home node, warm nodes, cold node."""
-        predecessor_id: int | None = None
+        if self.fast_mode:
+            predecessor_id = None
+            jobs = queue.jobs
+            if jobs:
+                request = jobs[0].request
+                preds = request.workflow.topology().pred[queue.stage_id]
+                if preds:
+                    # Inlined Request.predecessor_invoker over the cached
+                    # topology (identical latest-finishing tie-break).
+                    stage_invoker = request.stage_invoker
+                    if len(preds) == 1:
+                        predecessor_id = stage_invoker.get(preds[0])
+                    else:
+                        done = [p for p in preds if p in stage_invoker]
+                        if done:
+                            scm = request.stage_completion_ms
+                            predecessor_id = stage_invoker[max(done, key=scm.__getitem__)]
+            return locality_first_invoker_fast(
+                self.context.cluster,
+                queue.app_name,
+                queue.function_name,
+                config,
+                now_ms,
+                predecessor_invoker_id=predecessor_id,
+            )
+        predecessor_id = None
         if not queue.is_empty:
             job = queue.oldest_job()
             predecessor_id = job.request.predecessor_invoker(queue.stage_id)

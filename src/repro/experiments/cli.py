@@ -54,7 +54,7 @@ from repro.experiments.overhead import (
     run_bruteforce_comparison,
     run_figure10,
 )
-from repro.experiments.runner import WORKLOAD_MODES, ExperimentConfig
+from repro.experiments.runner import LOOP_MODES, WORKLOAD_MODES, ExperimentConfig
 from repro.experiments.scenario_sweep import compare_on_scenarios, render_scenario_list
 from repro.experiments.sensitivity import (
     render_figure11,
@@ -104,6 +104,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         cluster_pinned=pinned,
         metrics=MetricsConfig(mode=args.metrics_mode),
         workload_mode=args.workload_mode,
+        loop_mode=args.loop_mode,
     )
 
 
@@ -249,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(byte-identical results, ~16 bytes per request instead of whole "
         "object graphs; pair with --metrics-mode streaming for "
         "bounded-memory million-request runs)",
+    )
+    parser.add_argument(
+        "--loop-mode",
+        choices=LOOP_MODES,
+        default="fast",
+        help="event-loop implementation: 'fast' (default) runs the "
+        "split-heap queue with cached dispatch and memoized hot-path "
+        "lookups, 'compat' keeps the original loop as the byte-identity "
+        "parity anchor (summaries are identical, compat is slower)",
     )
     parser.add_argument(
         "--list-scenarios",

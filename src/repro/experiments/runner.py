@@ -20,7 +20,7 @@ from repro.cluster.cluster import ClusterConfig
 from repro.cluster.controller import ControllerConfig
 from repro.cluster.metrics import MetricsCollector, MetricsConfig, RunSummary
 from repro.cluster.policy_api import SchedulingPolicy
-from repro.cluster.simulator import Simulation, SimulationConfig
+from repro.cluster.simulator import LOOP_MODES, Simulation, SimulationConfig
 from repro.core.esg import ESGPolicy
 from repro.profiles.configuration import ConfigurationSpace
 from repro.profiles.profiler import ProfileStore
@@ -35,6 +35,7 @@ from repro.workloads.stream import WORKLOAD_MODES, RequestStream
 __all__ = [
     "DEFAULT_POLICIES",
     "EXPERIMENT_SPACE",
+    "LOOP_MODES",
     "WORKLOAD_MODES",
     "ExperimentConfig",
     "RunResult",
@@ -98,12 +99,21 @@ class ExperimentConfig:
     #: ``metrics=MetricsConfig(mode="streaming")`` for bounded-memory
     #: million-request runs end to end.
     workload_mode: str = "materialized"
+    #: Event-loop implementation: ``"fast"`` (default; split-heap queue,
+    #: cached dispatch, memoized hot-path lookups) or ``"compat"`` (the
+    #: original loop — the parity anchor).  Summaries are byte-identical.
+    loop_mode: str = "fast"
 
     def __post_init__(self) -> None:
         if self.workload_mode not in WORKLOAD_MODES:
             raise ValueError(
                 f"unknown workload mode {self.workload_mode!r}; "
                 f"expected one of {WORKLOAD_MODES}"
+            )
+        if self.loop_mode not in LOOP_MODES:
+            raise ValueError(
+                f"unknown loop mode {self.loop_mode!r}; "
+                f"expected one of {LOOP_MODES}"
             )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -340,6 +350,7 @@ def run_experiment(
             noise_sigma=config.noise_sigma,
             max_time_ms=max_time_ms,
             metrics=config.metrics,
+            loop_mode=config.loop_mode,
         ),
         setting_name=setting.name,
     )

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-__all__ = ["Stage", "Workflow", "WorkflowValidationError"]
+__all__ = ["Stage", "Workflow", "WorkflowTopology", "WorkflowValidationError"]
 
 
 class WorkflowValidationError(ValueError):
@@ -47,6 +47,34 @@ class Stage:
             raise WorkflowValidationError("function_name must be non-empty")
 
 
+class WorkflowTopology:
+    """Immutable adjacency snapshot of one workflow, shared by the fast paths.
+
+    The list-returning accessors on :class:`Workflow` rebuild their result on
+    every call (a defensive copy); the simulation's ``loop_mode="fast"`` hot
+    paths instead read this snapshot, built lazily once per workflow and
+    dropped on any mutation.  The per-stage tuples hold the same ids in the
+    same order as the accessors, so consumers see identical data.
+    """
+
+    __slots__ = ("sources", "sinks", "succ", "pred", "stages")
+
+    def __init__(self, workflow: "Workflow") -> None:
+        self.sources: tuple[str, ...] = tuple(
+            sid for sid in workflow._stages if not workflow._pred[sid]
+        )
+        self.sinks: tuple[str, ...] = tuple(
+            sid for sid in workflow._stages if not workflow._succ[sid]
+        )
+        self.succ: dict[str, tuple[str, ...]] = {
+            sid: tuple(dsts) for sid, dsts in workflow._succ.items()
+        }
+        self.pred: dict[str, tuple[str, ...]] = {
+            sid: tuple(srcs) for sid, srcs in workflow._pred.items()
+        }
+        self.stages: tuple[Stage, ...] = tuple(workflow._stages.values())
+
+
 @dataclass
 class Workflow:
     """A named DAG of stages with data-dependence edges."""
@@ -55,6 +83,9 @@ class Workflow:
     _stages: dict[str, Stage] = field(default_factory=dict)
     _succ: dict[str, list[str]] = field(default_factory=dict)
     _pred: dict[str, list[str]] = field(default_factory=dict)
+    _topo: WorkflowTopology | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -71,6 +102,7 @@ class Workflow:
         self._stages[stage_id] = stage
         self._succ[stage_id] = []
         self._pred[stage_id] = []
+        self._topo = None
         return stage
 
     def add_edge(self, src: str, dst: str) -> None:
@@ -84,6 +116,7 @@ class Workflow:
             raise WorkflowValidationError(f"duplicate edge ({src!r}, {dst!r})")
         self._succ[src].append(dst)
         self._pred[dst].append(src)
+        self._topo = None
 
     @classmethod
     def linear(cls, name: str, function_names: Iterable[str]) -> "Workflow":
@@ -117,6 +150,14 @@ class Workflow:
             return self._stages[stage_id]
         except KeyError:
             raise KeyError(f"workflow {self.name!r} has no stage {stage_id!r}") from None
+
+    def topology(self) -> WorkflowTopology:
+        """The cached adjacency snapshot (rebuilt after any mutation)."""
+        topo = self._topo
+        if topo is None:
+            topo = WorkflowTopology(self)
+            self._topo = topo
+        return topo
 
     def stage_ids(self) -> list[str]:
         """All stage ids in insertion order."""

@@ -53,6 +53,7 @@ True
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Iterator
 
@@ -117,6 +118,25 @@ class RequestStream(ABC):
         they declare every application of their generator.
         """
 
+    def iter_chunks(
+        self, chunk_size: int
+    ) -> Iterator[list[tuple[float, Request]]]:
+        """Yield the stream's pairs in lists of up to ``chunk_size``.
+
+        The fast event loop pulls arrivals through this instead of one
+        ``next()`` per request, amortising the generator re-entry cost.
+        The pairs and their order are exactly those of :meth:`__iter__`;
+        only the last chunk may be short.  Subclasses may override with a
+        tighter loop, but must preserve pair-for-pair equality.
+        """
+        ensure_positive_int(chunk_size, "chunk_size")
+        source = iter(self)
+        while True:
+            chunk = list(itertools.islice(source, chunk_size))
+            if not chunk:
+                return
+            yield chunk
+
     def materialize(self) -> list[Request]:
         """Consume the stream into a plain request list."""
         return [request for _, request in self]
@@ -170,6 +190,41 @@ class CountRequestStream(RequestStream):
                 arrival_ms=arrival,
                 slo_ms=generator.slo_ms(workflow),
             )
+
+    def iter_chunks(
+        self, chunk_size: int
+    ) -> Iterator[list[tuple[float, Request]]]:
+        """Chunked iteration over the pre-drawn arrays, bypassing the
+        generator protocol of :meth:`__iter__` (no frame suspension per
+        request).  Pair-for-pair identical to ``__iter__`` — same array
+        reads, same ``slo_ms`` call order, same factory application.
+        """
+        ensure_positive_int(chunk_size, "chunk_size")
+        generator = self._generator
+        applications = generator.applications
+        factory = generator.workflow_factory
+        arrivals = self._arrivals
+        indices = self._app_indices
+        total = len(arrivals)
+        for start in range(0, total, chunk_size):
+            chunk: list[tuple[float, Request]] = []
+            for req_id in range(start, min(start + chunk_size, total)):
+                workflow = applications[int(indices[req_id])]
+                if factory is not None:
+                    workflow = factory(workflow)
+                arrival = float(arrivals[req_id])
+                chunk.append(
+                    (
+                        arrival,
+                        Request(
+                            request_id=req_id,
+                            workflow=workflow,
+                            arrival_ms=arrival,
+                            slo_ms=generator.slo_ms(workflow),
+                        ),
+                    )
+                )
+            yield chunk
 
     def workflows(self) -> dict[str, Workflow]:
         if self._generator.workflow_factory is not None:

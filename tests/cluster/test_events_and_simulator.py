@@ -30,9 +30,17 @@ def make_request(arrival_ms: float = 0.0) -> Request:
 
 
 class TestEvents:
-    def test_negative_time_rejected(self):
+    def test_negative_time_rejected_at_push(self):
+        # Events are slotted and validation-free per instance; the
+        # ``time_ms >= 0`` invariant is enforced once at the scheduling
+        # boundary, by both event-loop implementations.
+        event = SchedulerTickEvent(time_ms=-1.0)
         with pytest.raises(ValueError):
-            SchedulerTickEvent(time_ms=-1.0)
+            EventLoop().push(event)
+        from repro.cluster.simulator import FastEventLoop
+
+        with pytest.raises(ValueError):
+            FastEventLoop().push(event)
 
     def test_arrival_event_holds_request(self):
         request = make_request(5.0)

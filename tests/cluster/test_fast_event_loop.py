@@ -1,0 +1,205 @@
+"""Randomized equivalence fuzz: :class:`FastEventLoop` vs. the compat loop.
+
+The fast loop's split-heap design rests on one claim: with a single shared
+push counter, interleaving a real heap and a housekeeping heap and always
+popping the smaller head reproduces the compat single-heap pop sequence
+*exactly*.  These tests drive both implementations (plus a brute-force
+sorted-list reference) through seeded random push/pop interleavings built
+to stress the claim where it could break — exact-time collisions,
+``sort_priority`` ties between arrivals and ticks, and dense mixes of
+housekeeping timers — and assert identical observable behaviour at every
+step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.events import (
+    ContainerExpireEvent,
+    RequestArrivalEvent,
+    SchedulerTickEvent,
+)
+from repro.cluster.simulator import EventLoop, FastEventLoop
+from repro.workloads.applications import image_classification
+from repro.workloads.request import Request
+
+#: Deliberately tiny time palette: with ~2000 ops drawing from 8 values,
+#: exact-time collisions (the FIFO/sort_priority tie-break cases) dominate.
+TIME_PALETTE = (0.0, 1.0, 1.0, 2.0, 5.0, 5.0, 7.5, 10.0)
+
+
+def _shared_request() -> Request:
+    return Request(
+        request_id=0, workflow=image_classification(), arrival_ms=0.0, slo_ms=1000.0
+    )
+
+
+def _shared_container() -> Container:
+    return Container(function_name="f", invoker_id=0)
+
+
+def make_event(rng: random.Random, request: Request, container: Container):
+    """One random event: tick (priority 1), arrival (priority 0, outranks
+    same-time ticks) or expiry timer (housekeeping, invisible to the
+    real-only queries)."""
+    time_ms = rng.choice(TIME_PALETTE)
+    kind = rng.randrange(3)
+    if kind == 0:
+        return SchedulerTickEvent(time_ms=time_ms)
+    if kind == 1:
+        return RequestArrivalEvent(time_ms=time_ms, request=request)
+    return ContainerExpireEvent(time_ms=time_ms, container=container)
+
+
+class ReferenceLoop:
+    """Brute-force model: a list re-sorted by the documented total order."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, int, int, object]] = []
+        self._counter = 0
+
+    def push(self, event) -> None:
+        self._entries.append(
+            (event.time_ms, event.sort_priority, self._counter, event)
+        )
+        self._counter += 1
+        self._entries.sort(key=lambda entry: entry[:3])
+
+    def pop(self):
+        return self._entries.pop(0)[3]
+
+    def peek_time(self) -> float:
+        return self._entries[0][0]
+
+    def real_times(self) -> list[float]:
+        return [e.time_ms for *_, e in self._entries if not e.housekeeping]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def assert_observables_agree(fast: FastEventLoop, compat: EventLoop, ref: ReferenceLoop):
+    assert len(fast) == len(compat) == len(ref)
+    assert fast.empty == compat.empty == (len(ref) == 0)
+    assert fast.has_real == compat.has_real == bool(ref.real_times())
+    if len(ref):
+        assert fast.peek_time() == compat.peek_time() == ref.peek_time()
+    if ref.real_times():
+        assert (
+            fast.peek_real_time()
+            == compat.peek_real_time()
+            == ref.real_times()[0]
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17, 1234])
+def test_fuzz_pop_sequences_identical(seed):
+    """~2000 random ops: every pop returns the *same object* from all three
+    implementations, and every observable query agrees at every step."""
+    rng = random.Random(seed)
+    request = _shared_request()
+    container = _shared_container()
+    fast, compat, ref = FastEventLoop(), EventLoop(), ReferenceLoop()
+
+    for _ in range(2000):
+        if len(ref) and rng.random() < 0.45:
+            popped_fast = fast.pop()
+            popped_compat = compat.pop()
+            popped_ref = ref.pop()
+            assert popped_fast is popped_compat is popped_ref
+        else:
+            event = make_event(rng, request, container)
+            fast.push(event)
+            compat.push(event)
+            ref.push(event)
+        assert_observables_agree(fast, compat, ref)
+
+    # Drain: the remaining backlog pops identically too.
+    while len(ref):
+        assert fast.pop() is compat.pop() is ref.pop()
+        assert_observables_agree(fast, compat, ref)
+    assert fast.empty and compat.empty
+
+
+@pytest.mark.parametrize("seed", [5, 6, 7])
+def test_fuzz_housekeeping_heavy_mix(seed):
+    """Housekeeping-dominant workloads (the keep-alive-timer regime): the
+    real-only queries must still track only productive events."""
+    rng = random.Random(seed)
+    request = _shared_request()
+    container = _shared_container()
+    fast, compat, ref = FastEventLoop(), EventLoop(), ReferenceLoop()
+
+    for _ in range(1000):
+        roll = rng.random()
+        if len(ref) and roll < 0.4:
+            assert fast.pop() is compat.pop() is ref.pop()
+        elif roll < 0.85 or not len(ref):
+            # 75% of pushes are expiry timers.
+            time_ms = rng.choice(TIME_PALETTE)
+            if rng.random() < 0.75:
+                event = ContainerExpireEvent(time_ms=time_ms, container=container)
+            else:
+                event = RequestArrivalEvent(time_ms=time_ms, request=request)
+            fast.push(event)
+            compat.push(event)
+            ref.push(event)
+        assert_observables_agree(fast, compat, ref)
+
+
+class TestFastEventLoopEdges:
+    """The non-fuzz edge contract, mirroring the compat EventLoop tests."""
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FastEventLoop().pop()
+
+    def test_peek_time_empty_raises(self):
+        with pytest.raises(IndexError):
+            FastEventLoop().peek_time()
+
+    def test_peek_real_time_with_only_housekeeping_raises(self):
+        loop = FastEventLoop()
+        loop.push(ContainerExpireEvent(time_ms=5.0, container=_shared_container()))
+        assert not loop.has_real
+        assert not loop.empty
+        assert loop.peek_time() == 5.0
+        with pytest.raises(IndexError):
+            loop.peek_real_time()
+
+    def test_arrival_outranks_same_time_tick(self):
+        loop = FastEventLoop()
+        tick = SchedulerTickEvent(time_ms=5.0)
+        arrival = RequestArrivalEvent(time_ms=5.0, request=_shared_request())
+        loop.push(tick)
+        loop.push(arrival)  # pushed later but lower sort_priority
+        assert loop.pop() is arrival
+        assert loop.pop() is tick
+
+    def test_housekeeping_interleaves_in_global_time_order(self):
+        loop = FastEventLoop()
+        container = _shared_container()
+        expire_early = ContainerExpireEvent(time_ms=1.0, container=container)
+        tick = SchedulerTickEvent(time_ms=2.0)
+        expire_late = ContainerExpireEvent(time_ms=3.0, container=container)
+        loop.push(tick)
+        loop.push(expire_late)
+        loop.push(expire_early)
+        assert loop.peek_time() == 1.0
+        assert loop.peek_real_time() == 2.0
+        assert [loop.pop() for _ in range(3)] == [expire_early, tick, expire_late]
+
+    def test_fifo_among_equal_keys(self):
+        loop = FastEventLoop()
+        events = [SchedulerTickEvent(time_ms=5.0) for _ in range(10)]
+        for event in events:
+            loop.push(event)
+        assert [loop.pop() for _ in range(10)] == events
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FastEventLoop().push(SchedulerTickEvent(time_ms=-0.5))

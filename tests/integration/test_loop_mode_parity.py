@@ -1,0 +1,267 @@
+"""Acceptance parity: the fast event loop vs. the compat reference loop.
+
+The tentpole guarantee of the hot-path overhaul: switching
+``SimulationConfig.loop_mode`` between ``"fast"`` (split-heap queue, cached
+dispatch, chunked arrival pulls, memoized plan/profile lookups, inlined
+warm-path dispatch) and ``"compat"`` (the original loop, kept verbatim as
+the parity anchor) changes *throughput only* — every RunSummary is
+byte-identical, for every policy, on paper and non-paper scenarios, across
+worker processes and spawn contexts, and in combination with every other
+mode axis (``index_mode="scan"``, streaming workloads, streaming metrics,
+truncated horizons).  This mirrors the ``index_mode`` and
+``workload_mode`` precedents of the previous scale refactors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.events import RequestArrivalEvent, SchedulerTickEvent
+from repro.cluster.metrics import MetricsConfig
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_profile_store,
+    run_experiment,
+)
+
+PAPER_SCENARIOS = (
+    "paper-strict-light",
+    "paper-moderate-normal",
+    "paper-relaxed-heavy",
+)
+
+NON_PAPER_SCENARIOS = ("poisson-normal", "trace-replay-azure", "mixed-dags-normal")
+
+FAST = ExperimentConfig(num_requests=16, loop_mode="fast")
+COMPAT = ExperimentConfig(num_requests=16, loop_mode="compat")
+#: Everything streamed *and* the fast loop: the bounded-memory,
+#: maximum-throughput million-request configuration.
+FAST_FULLY_STREAMING = ExperimentConfig(
+    num_requests=16,
+    loop_mode="fast",
+    workload_mode="streaming",
+    metrics=MetricsConfig(mode="streaming"),
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_profile_store()
+
+
+def assert_byte_identical(a, b) -> None:
+    """Field-by-field equality down to nested dataclasses — not just
+    ``__eq__``, so a future non-comparing field cannot mask a divergence."""
+    assert asdict(a.summary) == asdict(b.summary)
+    assert a.summary == b.summary
+
+
+class TestFastVsCompatSummaries:
+    """The full acceptance matrix: 5 policies x 3 paper scenarios."""
+
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS)
+    @pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+    def test_policy_scenario_byte_identical(self, store, policy, scenario):
+        fast = run_experiment(policy, config=FAST, profile_store=store, scenario=scenario)
+        compat = run_experiment(
+            policy, config=COMPAT, profile_store=store, scenario=scenario
+        )
+        assert_byte_identical(fast, compat)
+
+    @pytest.mark.parametrize("scenario", NON_PAPER_SCENARIOS)
+    def test_non_paper_scenarios_stay_identical(self, store, scenario):
+        """Arrival processes with their own RNG paths (Poisson, trace
+        replay, mixed DAGs) are unaffected by chunked arrival pulls."""
+        fast = run_experiment("ESG", config=FAST, profile_store=store, scenario=scenario)
+        compat = run_experiment(
+            "ESG", config=COMPAT, profile_store=store, scenario=scenario
+        )
+        assert_byte_identical(fast, compat)
+
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS)
+    def test_fast_fully_streaming_matches_compat_materialized(self, store, scenario):
+        """The two extreme corners of the mode cube agree: fast loop +
+        streaming workload + streaming metrics vs. compat + materialized
+        everything."""
+        streamed = run_experiment(
+            "ESG", config=FAST_FULLY_STREAMING, profile_store=store, scenario=scenario
+        )
+        materialized = run_experiment(
+            "ESG", config=COMPAT, profile_store=store, scenario=scenario
+        )
+        assert_byte_identical(streamed, materialized)
+        assert streamed.requests == []
+        assert streamed.metrics.is_streaming
+
+    def test_fast_composes_with_scan_index_mode(self, store):
+        """The fast loop must not assume the indexed cluster core: with
+        ``index_mode="scan"`` no expiry timers are ever scheduled and the
+        housekeeping heap stays empty, but summaries still match."""
+        scan_fast = ExperimentConfig(
+            num_requests=16, loop_mode="fast", cluster=ClusterConfig(index_mode="scan")
+        )
+        scan_compat = scan_fast.with_overrides(loop_mode="compat")
+        for policy in ("ESG", "INFless"):
+            fast = run_experiment(
+                policy, config=scan_fast, profile_store=store, scenario="paper-moderate-normal"
+            )
+            compat = run_experiment(
+                policy,
+                config=scan_compat,
+                profile_store=store,
+                scenario="paper-moderate-normal",
+            )
+            assert_byte_identical(fast, compat)
+
+    def test_fast_composes_with_both_metrics_modes(self, store):
+        """Retained and streaming collectors see the same completion folds
+        whether they come from the compat dispatch or the inlined fast one."""
+        retained = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario="paper-relaxed-heavy"
+        )
+        streaming_metrics = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(metrics=MetricsConfig(mode="streaming")),
+            profile_store=store,
+            scenario="paper-relaxed-heavy",
+        )
+        compat = run_experiment(
+            "ESG", config=COMPAT, profile_store=store, scenario="paper-relaxed-heavy"
+        )
+        assert_byte_identical(retained, compat)
+        assert_byte_identical(streaming_metrics, compat)
+
+    def test_truncated_horizon_runs_stay_identical(self, store):
+        """The horizon check reads the earliest *productive* event time;
+        the split heaps must answer it exactly like the mirror heap, and
+        chunk-buffered arrivals past the horizon must stay unprocessed."""
+        fast_cfg = FAST.with_overrides(num_requests=40, max_time_ms=300.0)
+        compat_cfg = fast_cfg.with_overrides(loop_mode="compat")
+        fast = run_experiment(
+            "ESG", "moderate-normal", config=fast_cfg, profile_store=store
+        )
+        compat = run_experiment(
+            "ESG", "moderate-normal", config=compat_cfg, profile_store=store
+        )
+        assert fast.summary.truncated
+        assert_byte_identical(fast, compat)
+
+
+class TestEngineParityAcrossModes:
+    """Loop mode composes with the engine's n_jobs / spawn guarantees."""
+
+    def _specs(self, config: ExperimentConfig) -> list[RunSpec]:
+        return [
+            RunSpec(policy="ESG", scenario=scenario, config=config)
+            for scenario in PAPER_SCENARIOS
+        ]
+
+    def test_fast_specs_in_workers_match_compat_in_process(self):
+        compat = ExperimentEngine(n_jobs=1).run(self._specs(COMPAT))
+        fast_parallel = ExperimentEngine(n_jobs=4).run(self._specs(FAST))
+        for a, b in zip(compat, fast_parallel):
+            assert a.summary == b.summary
+
+    def test_spawn_context_reproduces_fast_summaries(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs(FAST))
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(self._specs(FAST))
+        for a, b in zip(in_process, spawned):
+            assert a.summary == b.summary
+
+
+class TestCachedDispatchPrecedence:
+    """The dispatch cache must preserve the documented handler precedence.
+
+    The fast loop substitutes module-level trampolines for the core event
+    types *only* when resolution lands on the default base-``Event`` entry.
+    Instance handlers (``add_handler``) and class registrations
+    (``register_handler``) are resolved first, so they must still win —
+    including when added mid-run, after the cache is already hot.
+    """
+
+    def _make_simulation(self, store, loop_mode):
+        from repro.cluster.simulator import Simulation, SimulationConfig
+        from repro.experiments.runner import build_requests, make_policy
+
+        requests = build_requests("moderate-normal", 8, 3, store)
+        return Simulation(
+            policy=make_policy("ESG"),
+            requests=requests,
+            profile_store=store,
+            config=SimulationConfig(seed=3, loop_mode=loop_mode),
+            setting_name="moderate-normal",
+        )
+
+    def test_instance_handler_beats_arrival_trampoline(self, store):
+        baseline = self._make_simulation(store, "fast").run()
+
+        instrumented = self._make_simulation(store, "fast")
+        seen: list[float] = []
+
+        def counting_handler(sim, event):
+            seen.append(event.time_ms)
+            event.apply(sim)
+
+        instrumented.add_handler(RequestArrivalEvent, counting_handler)
+        summary = instrumented.run()
+
+        # The handler intercepted every arrival (the trampoline did not
+        # bypass it) and, since it forwarded to apply(), the run is
+        # unchanged.
+        assert len(seen) == summary.num_requests
+        assert asdict(summary) == asdict(baseline)
+
+    def test_class_handler_beats_tick_trampoline(self, store):
+        from repro.cluster.simulator import Simulation
+
+        baseline = self._make_simulation(store, "fast").run()
+        ticks: list[float] = []
+
+        def counting_tick(sim, event):
+            ticks.append(event.time_ms)
+            event.apply(sim)
+
+        Simulation.register_handler(SchedulerTickEvent, counting_tick)
+        try:
+            summary = self._make_simulation(store, "fast").run()
+        finally:
+            del Simulation._handlers[SchedulerTickEvent]
+            Simulation._handlers_version += 1
+
+        assert ticks  # at least one tick fired through the handler
+        assert asdict(summary) == asdict(baseline)
+
+    def test_mid_run_registration_invalidates_hot_cache(self, store):
+        """Registrations made after dispatch has already cached the
+        trampoline must take effect immediately (the version check)."""
+        from repro.cluster.simulator import Simulation
+
+        baseline = self._make_simulation(store, "fast").run()
+        simulation = self._make_simulation(store, "fast")
+        late: list[float] = []
+        armed = False
+
+        @simulation.on_event
+        def register_late(sim, event):
+            nonlocal armed
+            if not armed and sim.processed_events >= 5:
+                armed = True
+                Simulation.register_handler(
+                    SchedulerTickEvent,
+                    lambda s, e: (late.append(e.time_ms), e.apply(s)),
+                )
+
+        try:
+            summary = simulation.run()
+        finally:
+            Simulation._handlers.pop(SchedulerTickEvent, None)
+            Simulation._handlers_version += 1
+
+        assert armed
+        assert late  # ticks after the mid-run registration went through it
+        assert asdict(summary) == asdict(baseline)
