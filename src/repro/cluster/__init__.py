@@ -15,6 +15,16 @@ profiles; this subpackage is that emulation framework.  It models:
   pre-planned configuration miss rate).
 """
 
+from repro.cluster.churn import (
+    CHURN_SPECS,
+    ChurnAction,
+    ChurnSchedule,
+    ChurnSpec,
+    churn_spec_names,
+    get_churn_spec,
+    register_churn_spec,
+    resolve_churn,
+)
 from repro.cluster.cluster import ClusterConfig, ClusterState
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.controller import Controller, ControllerConfig
@@ -22,6 +32,9 @@ from repro.cluster.datatransfer import DataTransferModel
 from repro.cluster.events import (
     ContainerExpireEvent,
     Event,
+    InvokerJoinEvent,
+    InvokerLeaveEvent,
+    InvokerResizeEvent,
     PrewarmCompleteEvent,
     RequestArrivalEvent,
     SchedulerTickEvent,
@@ -59,6 +72,14 @@ __all__ = [
     "get_topology",
     "topology_names",
     "parse_topology",
+    "ChurnAction",
+    "ChurnSchedule",
+    "ChurnSpec",
+    "CHURN_SPECS",
+    "register_churn_spec",
+    "get_churn_spec",
+    "churn_spec_names",
+    "resolve_churn",
     "ContainerExpireEvent",
     "Container",
     "ContainerState",
@@ -70,6 +91,9 @@ __all__ = [
     "SchedulerTickEvent",
     "TaskCompletionEvent",
     "PrewarmCompleteEvent",
+    "InvokerJoinEvent",
+    "InvokerLeaveEvent",
+    "InvokerResizeEvent",
     "GpuDevice",
     "Invoker",
     "MetricsCollector",

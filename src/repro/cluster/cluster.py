@@ -151,6 +151,12 @@ class ClusterState:
     _bucket_of: list[tuple[int, int]] = field(init=False, repr=False)
     _free_vcpus: int = field(init=False, repr=False)
     _free_vgpus: int = field(init=False, repr=False)
+    #: Aggregate capacity of the *current* membership.  Equals the config
+    #: totals until churn mutates the cluster; maintained unconditionally
+    #: (both index modes) because utilisation denominators need it even when
+    #: the free-capacity index is off.
+    _total_vcpus: int = field(init=False, repr=False)
+    _total_vgpus: int = field(init=False, repr=False)
     _warm_index: dict[str, set[int]] = field(init=False, repr=False)
     _live_counts: dict[str, int] = field(init=False, repr=False)
     _home_cache: dict[tuple[str, str], int] | None = field(init=False, repr=False)
@@ -187,6 +193,8 @@ class ClusterState:
                 )
         self._free_vcpus = self.config.total_vcpus
         self._free_vgpus = self.config.total_vgpus
+        self._total_vcpus = self.config.total_vcpus
+        self._total_vgpus = self.config.total_vgpus
         self._warm_index = {}
         self._live_counts = {}
         self._home_cache = None
@@ -414,14 +422,100 @@ class ClusterState:
             return self._free_vgpus
         return sum(inv.available_vgpus for inv in self.invokers)
 
+    def total_vcpus(self) -> int:
+        """Aggregate vCPU capacity of the current membership."""
+        return self._total_vcpus
+
+    def total_vgpus(self) -> int:
+        """Aggregate vGPU capacity of the current membership."""
+        return self._total_vgpus
+
     def cpu_utilization(self) -> float:
-        """Cluster-wide vCPU utilisation."""
-        return 1.0 - self.total_available_vcpus() / self.config.total_vcpus
+        """Cluster-wide vCPU utilisation (relative to current membership)."""
+        return 1.0 - self.total_available_vcpus() / self._total_vcpus
 
     def gpu_utilization(self) -> float:
-        """Cluster-wide vGPU utilisation."""
-        return 1.0 - self.total_available_vgpus() / self.config.total_vgpus
+        """Cluster-wide vGPU utilisation (relative to current membership)."""
+        return 1.0 - self.total_available_vgpus() / self._total_vgpus
 
     def expire_containers(self, now_ms: float) -> int:
         """Expire idle containers past their keep-alive on every node."""
         return sum(len(inv.expire_containers(now_ms)) for inv in self.invokers)
+
+    # ------------------------------------------------------------------
+    # Membership churn (invoked by the controller's churn handlers)
+    # ------------------------------------------------------------------
+    def apply_join(self, vcpus: int | None = None, vgpus: int | None = None) -> Invoker:
+        """Add a node to the cluster; ``None`` shape means the config default.
+
+        Mirrors ``__post_init__``: the new invoker is appended (ids are
+        dense and never reused), registered with the capacity index in both
+        index modes, and wired to the incremental callbacks only when
+        indexing is on.  The home-invoker memo depends on the cluster size,
+        so a join invalidates it.
+        """
+        invoker = Invoker(
+            invoker_id=len(self.invokers),
+            total_vcpus=vcpus if vcpus is not None else self.config.vcpus_per_invoker,
+            total_vgpus=vgpus if vgpus is not None else self.config.vgpus_per_invoker,
+            keep_alive_ms=self.config.keep_alive_ms,
+        )
+        self.invokers.append(invoker)
+        bucket = (invoker.total_vcpus, invoker.total_vgpus)
+        self._bucket_of.append(bucket)
+        self._capacity.add(bucket, invoker.invoker_id)
+        if self._indexed:
+            invoker.bind_cluster_callbacks(self._capacity_changed, self._containers_changed)
+        self._free_vcpus += invoker.total_vcpus
+        self._free_vgpus += invoker.total_vgpus
+        self._total_vcpus += invoker.total_vcpus
+        self._total_vgpus += invoker.total_vgpus
+        if self._home_cache is not None:
+            self._home_cache.clear()
+        return invoker
+
+    def apply_leave(self, invoker_id: int) -> list:
+        """Evict a node: drop its containers, zero its capacity, tombstone it.
+
+        The invoker stays in the list so ids (and the home hash, which only
+        changes on joins) remain stable; with zero total capacity no
+        placement rule in either index mode can ever select it again.
+        Returns the containers that were force-stopped.  In-flight task
+        bookkeeping (requeue/fail, metrics) is the controller's job.
+        """
+        invoker = self.invoker(invoker_id)
+        if not invoker.active:
+            return []
+        evicted = invoker.evict_all_containers()
+        self._total_vcpus -= invoker.total_vcpus
+        self._total_vgpus -= invoker.gpu.total_vgpus
+        invoker.total_vcpus = 0
+        invoker.total_vgpus = 0
+        invoker.gpu.total_vgpus = 0
+        invoker._used_vcpus = 0
+        invoker.gpu._used_vgpus = 0
+        invoker.active = False
+        # Re-bucket to (0, 0); no-op in scan mode (callback unbound there),
+        # where the bucket index is never read.
+        invoker._capacity_changed()
+        return evicted
+
+    def apply_resize(self, invoker_id: int, vcpus: int, vgpus: int) -> tuple[int, int]:
+        """Re-target a node's capacity (harvested-VM shrink/grow).
+
+        Clamped to ``max(1, target, in_use)``: harvesting only takes idle
+        resources, never cores/slices under running tasks.  Returns the
+        applied ``(vcpus, vgpus)``; a departed node is left untouched.
+        """
+        invoker = self.invoker(invoker_id)
+        if not invoker.active:
+            return (invoker.total_vcpus, invoker.gpu.total_vgpus)
+        new_vcpus = max(1, vcpus, invoker._used_vcpus)
+        new_vgpus = max(1, vgpus, invoker.gpu._used_vgpus)
+        self._total_vcpus += new_vcpus - invoker.total_vcpus
+        self._total_vgpus += new_vgpus - invoker.gpu.total_vgpus
+        invoker.total_vcpus = new_vcpus
+        invoker.total_vgpus = new_vgpus
+        invoker.gpu.total_vgpus = new_vgpus
+        invoker._capacity_changed()
+        return (new_vcpus, new_vgpus)

@@ -113,6 +113,19 @@ class Container:
         self.expires_at_ms = float("-inf")
         self._transition(ContainerState.STOPPED)
 
+    def mark_evicted(self) -> None:
+        """Force-stop regardless of active tasks (the node was evicted).
+
+        Unlike :meth:`mark_stopped` this drops any in-flight work: the
+        controller decides separately whether that work is requeued or
+        failed.  Resetting ``expires_at_ms`` to ``-inf`` makes every armed
+        :class:`~repro.cluster.events.ContainerExpireEvent` miss its lazy
+        cancellation guard, so stale expiry timers become no-ops.
+        """
+        self.active_tasks = 0
+        self.expires_at_ms = float("-inf")
+        self._transition(ContainerState.STOPPED)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -129,6 +129,18 @@ class Controller:
     _transfer_cache: dict[str, tuple[float, float]] = field(
         default_factory=dict, repr=False
     )
+    #: Churn (dynamic cluster membership) state, armed by
+    #: :meth:`enable_churn`.  Off by default so static runs pay nothing:
+    #: the in-flight task map is only maintained while a churn schedule is
+    #: active.
+    _churn: bool = field(default=False, repr=False)
+    #: What happens to tasks in flight on an evicted node.
+    _on_evict: str = field(default="requeue", repr=False)
+    #: Tasks whose invoker left before their completion event fired; their
+    #: TaskCompletionEvents pop as no-ops (lazy cancellation).
+    _cancelled_tasks: set[int] = field(default_factory=set, repr=False)
+    #: task_id -> in-flight task (only maintained when churn is enabled).
+    _inflight: dict[int, Task] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         # The cluster's index mode and the collector's storage mode are both
@@ -275,6 +287,13 @@ class Controller:
         if self.fast_mode:
             self._on_task_completion_fast(task, now_ms)
             return
+        if self._churn:
+            if task.task_id in self._cancelled_tasks:
+                # The task's invoker left mid-flight: resources and container
+                # are gone already, and its jobs were requeued or failed.
+                self._cancelled_tasks.discard(task.task_id)
+                return
+            self._inflight.pop(task.task_id, None)
         invoker = self.cluster.invoker(task.invoker_id)
         invoker.release(task.config)
         container = self._task_containers.pop(task.task_id, None)
@@ -284,6 +303,11 @@ class Controller:
 
         for job in task.jobs:
             request = job.request
+            if self._churn and request.evicted_ms is not None:
+                # Terminally evicted (on_evict="fail"): surviving sibling
+                # tasks still release resources above, but the request's DAG
+                # does not advance any further.
+                continue
             was_complete = request.is_complete
             request.record_stage_completion(task.stage_id, now_ms, task.invoker_id)
             if request.is_complete and not was_complete:
@@ -306,6 +330,11 @@ class Controller:
         re-copying adjacency lists, and the request-completion fold keeps
         the original ``max`` over sink completion times.
         """
+        if self._churn:
+            if task.task_id in self._cancelled_tasks:
+                self._cancelled_tasks.discard(task.task_id)
+                return
+            self._inflight.pop(task.task_id, None)
         invoker_id = task.invoker_id
         invoker = self.cluster.invokers[invoker_id]
         config = task.config
@@ -335,6 +364,8 @@ class Controller:
         queues = self._queues
         for job in task.jobs:
             request = job.request
+            if self._churn and request.evicted_ms is not None:
+                continue
             topo = request.workflow.topology()
             scm = request.stage_completion_ms
             if stage_id in scm:
@@ -450,6 +481,99 @@ class Controller:
             if container.state == ContainerState.STARTING:
                 return container
         return None
+
+    # ------------------------------------------------------------------
+    # Cluster churn (join / leave / resize housekeeping events)
+    # ------------------------------------------------------------------
+    def enable_churn(self, on_evict: str = "requeue") -> None:
+        """Arm the churn bookkeeping (in-flight task map, eviction policy).
+
+        Called once by the simulation before the run when a
+        :class:`~repro.cluster.churn.ChurnSchedule` is configured; static
+        runs never pay for the extra per-dispatch dict write.
+        """
+        if on_evict not in ("requeue", "fail"):
+            raise ValueError(f"on_evict must be 'requeue' or 'fail', got {on_evict!r}")
+        self._churn = True
+        self._on_evict = on_evict
+
+    def on_invoker_join(self, vcpus: int | None, vgpus: int | None, now_ms: float) -> None:
+        """A new node joins the cluster."""
+        self.cluster.apply_join(vcpus, vgpus)
+
+    def on_invoker_resize(
+        self, invoker_id: int, vcpus: int, vgpus: int, now_ms: float
+    ) -> None:
+        """A node's capacity target changes (harvest shrink/grow)."""
+        self.cluster.apply_resize(invoker_id, vcpus, vgpus)
+
+    def on_invoker_leave(self, invoker_id: int, now_ms: float) -> None:
+        """A node is evicted: drop its containers and settle in-flight work.
+
+        The cluster tombstones the node (containers force-stopped through
+        the lifecycle listeners, capacity zeroed); every task that was
+        executing there is lazily cancelled — its pending
+        ``TaskCompletionEvent`` becomes a no-op — and its jobs are either
+        requeued on the AFW queues or failed with the ``evicted`` outcome,
+        per the schedule's ``on_evict`` policy.
+        """
+        invoker = self.cluster.invoker(invoker_id)
+        if not invoker.active:
+            return
+        doomed = sorted(
+            (task for task in self._inflight.values() if task.invoker_id == invoker_id),
+            key=lambda task: task.task_id,
+        )
+        self.cluster.apply_leave(invoker_id)
+        requeued = 0
+        for task in doomed:
+            del self._inflight[task.task_id]
+            self._cancelled_tasks.add(task.task_id)
+            self._task_containers.pop(task.task_id, None)
+            self.metrics.record_task_evicted()
+            if self._on_evict == "requeue":
+                for job in task.jobs:
+                    request = job.request
+                    if request.evicted_ms is not None or request.completed_ms is not None:
+                        continue
+                    queue = self.queue_for(task.app_name, task.stage_id)
+                    queue.push(Job(request=request, stage_id=task.stage_id, ready_ms=now_ms))
+                    requeued += 1
+            else:
+                for job in task.jobs:
+                    self._evict_request(job.request, now_ms)
+        if requeued:
+            self.metrics.record_requeued_jobs(requeued)
+
+    def _evict_request(self, request: Request, now_ms: float) -> None:
+        """Terminally fail ``request`` with the ``evicted`` outcome."""
+        if request.evicted_ms is not None or request.completed_ms is not None:
+            return
+        request.evicted_ms = now_ms
+        self.metrics.record_request_evicted(request)
+        self._purge_request_jobs(request)
+
+    def _purge_request_jobs(self, request: Request) -> None:
+        """Drop every queued job of ``request`` (it will never be scheduled).
+
+        Rebuilds each affected deque in place and maintains the pending
+        counter / non-empty set directly, the same way the fast dispatch
+        path does.
+        """
+        for key in self._all_keys_sorted():
+            queue = self._queues[key]
+            jobs = queue.jobs
+            if not jobs:
+                continue
+            kept = [job for job in jobs if job.request is not request]
+            removed = len(jobs) - len(kept)
+            if not removed:
+                continue
+            jobs.clear()
+            jobs.extend(kept)
+            self._pending_jobs -= removed
+            if not jobs:
+                self._nonempty.discard(key)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -707,6 +831,8 @@ class Controller:
 
         invoker.reserve(effective)
         self._task_containers[task.task_id] = container
+        if self._churn:
+            self._inflight[task.task_id] = task
         self.metrics.record_task(task)
         self.event_sink(TaskCompletionEvent(time_ms=task.finish_ms, task=task))
         return task
@@ -853,6 +979,8 @@ class Controller:
             if capacity_cb is not None:
                 capacity_cb(invoker)
         self._task_containers[task.task_id] = container
+        if self._churn:
+            self._inflight[task.task_id] = task
 
         # Inlined ``metrics.record_task`` (live collector): identical float
         # expressions — ``start = dispatch + overhead``, ``finish = start +

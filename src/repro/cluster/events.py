@@ -28,6 +28,9 @@ __all__ = [
     "SchedulerTickEvent",
     "PrewarmCompleteEvent",
     "ContainerExpireEvent",
+    "InvokerJoinEvent",
+    "InvokerLeaveEvent",
+    "InvokerResizeEvent",
 ]
 
 
@@ -134,3 +137,61 @@ class ContainerExpireEvent(Event):
             and container.expires_at_ms == self.time_ms
         ):
             container.mark_stopped()
+
+
+@dataclass(frozen=True, slots=True)
+class InvokerJoinEvent(Event):
+    """A new invoker joins the cluster (churn schedule).
+
+    Housekeeping like every churn event: capacity changes only matter while
+    productive work remains, so a schedule extending past the workload's end
+    never keeps the run alive or trips the horizon — identically in both
+    loop modes.
+    """
+
+    housekeeping: ClassVar[bool] = True
+
+    #: Node shape; ``None`` means the cluster config's per-invoker defaults.
+    vcpus: int | None = None
+    vgpus: int | None = None
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_invoker_join(self.vcpus, self.vgpus, simulation.now_ms)
+
+
+@dataclass(frozen=True, slots=True)
+class InvokerLeaveEvent(Event):
+    """An invoker is evicted from the cluster (churn schedule).
+
+    All resident containers are force-stopped and in-flight tasks follow the
+    schedule's ``on_evict`` policy (requeue their jobs, or fail the owning
+    requests with the ``evicted`` outcome).
+    """
+
+    housekeeping: ClassVar[bool] = True
+
+    invoker_id: int
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_invoker_leave(self.invoker_id, simulation.now_ms)
+
+
+@dataclass(frozen=True, slots=True)
+class InvokerResizeEvent(Event):
+    """An invoker's capacity target changes (harvested-VM shrink/grow).
+
+    The applied size is clamped to ``max(1, target, in_use)``: harvesting
+    only takes idle capacity, it never reclaims cores or slices from under
+    running tasks.
+    """
+
+    housekeeping: ClassVar[bool] = True
+
+    invoker_id: int
+    vcpus: int
+    vgpus: int
+
+    def apply(self, simulation: "Simulation") -> None:
+        simulation.controller.on_invoker_resize(
+            self.invoker_id, self.vcpus, self.vgpus, simulation.now_ms
+        )

@@ -42,6 +42,11 @@ class Invoker:
     total_vcpus: int = 16
     total_vgpus: int = 7
     keep_alive_ms: float = DEFAULT_KEEP_ALIVE_MS
+    #: False once the node has left the cluster (churn eviction).  Departed
+    #: invokers stay in the cluster's list as zero-capacity tombstones so
+    #: invoker ids remain stable; placement paths skip them because nothing
+    #: fits on zero capacity.
+    active: bool = True
     _used_vcpus: int = field(default=0, repr=False)
     gpu: GpuDevice = field(init=False)
     #: All containers ever created on this node, keyed by function name.
@@ -264,6 +269,22 @@ class Invoker:
         container.mark_warm(now_ms, self.keep_alive_ms)
         self.add_container(container)
         return container
+
+    def evict_all_containers(self) -> list[Container]:
+        """Force-stop every live container on this node (node eviction).
+
+        Returns the containers that were dropped, in per-function insertion
+        order.  Copies are required: :meth:`Container.mark_evicted` fires the
+        state listener, which mutates ``_live`` while we iterate.
+        """
+        evicted: list[Container] = [
+            container
+            for containers in list(self._live.values())
+            for container in list(containers)
+        ]
+        for container in evicted:
+            container.mark_evicted()
+        return evicted
 
     def expire_containers(self, now_ms: float) -> list[Container]:
         """Stop idle containers whose keep-alive elapsed; returns them."""

@@ -139,6 +139,12 @@ class RunSummary:
     #: True when the run stopped before the event queue drained (horizon
     #: ``max_time_ms`` reached or ``max_events`` exhausted).
     truncated: bool = False
+    #: Requests terminally failed by node evictions (churn, ``on_evict="fail"``).
+    num_evicted: int = 0
+    #: In-flight tasks dropped by node evictions (both eviction policies).
+    evicted_tasks: int = 0
+    #: Jobs pushed back on the AFW queues after an eviction (``on_evict="requeue"``).
+    requeued_jobs: int = 0
 
     @property
     def plan_miss_rate(self) -> float:
@@ -171,6 +177,9 @@ class RunSummary:
             "total_vgpu_ms": self.total_vgpu_ms,
             "total_vcpu_ms": self.total_vcpu_ms,
             "truncated": self.truncated,
+            "num_evicted": self.num_evicted,
+            "evicted_tasks": self.evicted_tasks,
+            "requeued_jobs": self.requeued_jobs,
         }
 
 
@@ -297,6 +306,10 @@ class MetricsCollector:
     remote_transfers: int = 0
     forced_min_dispatches: int = 0
     prewarm_count: int = 0
+    #: In-flight tasks dropped by node evictions (cluster churn).
+    evicted_tasks: int = 0
+    #: Jobs requeued after node evictions (``on_evict="requeue"``).
+    requeued_jobs: int = 0
     #: Set by the simulator when the run stops before the queue drains.
     truncated: bool = False
     #: Storage mode (retained vs streaming accumulators).
@@ -315,6 +328,8 @@ class MetricsCollector:
         self._waiting_ms = array("d")
         self._vgpu_ms = 0.0
         self._vcpu_ms = 0.0
+        #: Streaming-mode eviction counter (retained mode scans requests).
+        self._evicted = 0
         if self.is_streaming:
             # Same append/iterate surface as the list, 8 bytes per sample.
             self.overhead_ms_samples = array("d", self.overhead_ms_samples)
@@ -349,6 +364,8 @@ class MetricsCollector:
             local_transfers=summary.local_transfers,
             remote_transfers=summary.remote_transfers,
             forced_min_dispatches=summary.forced_min_dispatches,
+            evicted_tasks=summary.evicted_tasks,
+            requeued_jobs=summary.requeued_jobs,
             truncated=summary.truncated,
             placeholder=True,
         )
@@ -507,6 +524,30 @@ class MetricsCollector:
         self._check_not_placeholder()
         self.prewarm_count += 1
 
+    def record_task_evicted(self) -> None:
+        """Record one in-flight task dropped by a node eviction."""
+        self._check_not_placeholder()
+        self.evicted_tasks += 1
+
+    def record_requeued_jobs(self, count: int) -> None:
+        """Record ``count`` jobs requeued after a node eviction."""
+        self._check_not_placeholder()
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.requeued_jobs += count
+
+    def record_request_evicted(self, request: Request) -> None:
+        """Notify the collector that ``request`` was terminally evicted.
+
+        The controller calls this exactly once, right after stamping
+        ``request.evicted_ms``.  Retained mode derives the count by scanning
+        the request list, so only streaming mode counts here — mirroring
+        :meth:`record_completion`.
+        """
+        self._check_not_placeholder()
+        if self.is_streaming:
+            self._evicted += 1
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -539,6 +580,13 @@ class MetricsCollector:
             acc = self._total if app_name is None else self._per_app.get(app_name)
             return acc.completed if acc is not None else 0
         return len(self.completed_requests(app_name))
+
+    def num_evicted(self) -> int:
+        """Number of requests terminally failed by node evictions."""
+        self._check_not_placeholder()
+        if self.is_streaming:
+            return self._evicted
+        return sum(1 for r in self.requests if r.evicted_ms is not None)
 
     def app_slo_ms(self, app_name: str) -> float | None:
         """SLO budget of ``app_name``'s requests in this run (None if unseen).
@@ -734,4 +782,7 @@ class MetricsCollector:
             per_app_cost_cents=per_app_cost,
             per_app_mean_latency_ms=per_app_latency,
             truncated=self.truncated,
+            num_evicted=self.num_evicted(),
+            evicted_tasks=self.evicted_tasks,
+            requeued_jobs=self.requeued_jobs,
         )

@@ -286,6 +286,10 @@ class PrewarmManager:
         best_id: int | None = None
         best_key: tuple[int, float] | None = None
         for invoker in cluster:
+            if not invoker.active:
+                # Departed (churn-evicted) nodes stay in the list as
+                # zero-capacity tombstones; never prewarm on them.
+                continue
             existing = invoker.container_count(function_name)
             key = (existing, -invoker.available_vgpus)
             if best_key is None or key < best_key:

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Sequence
 
+from repro.cluster.churn import ChurnSchedule
 from repro.cluster.cluster import ClusterConfig, ClusterState
 from repro.cluster.controller import Controller, ControllerConfig
 from repro.cluster.datatransfer import DataTransferModel
@@ -265,6 +266,9 @@ class SimulationConfig:
     #: ``"compat"`` (the original loop, kept as the parity anchor).
     #: Summaries are byte-identical.
     loop_mode: str = "fast"
+    #: Optional cluster-churn schedule (timed invoker join/leave/resize
+    #: housekeeping events).  ``None`` keeps the paper's static testbed.
+    churn: "ChurnSchedule | None" = None
 
     def __post_init__(self) -> None:
         if self.noise_sigma < 0:
@@ -423,6 +427,18 @@ class Simulation:
                 self.events.push(
                     RequestArrivalEvent(time_ms=request.arrival_ms, request=request)
                 )
+
+        # Churn events go in last, at a fixed point of construction, so both
+        # loop modes assign them identical tie-break counters: they sit after
+        # every arrival pushed at init and before anything emitted mid-run.
+        # Equal-time collisions with arrivals are resolved by sort_priority
+        # (arrivals rank 0, churn 1), which also covers compat streaming
+        # runs, where later arrivals are pushed one at a time mid-run.
+        churn = self.config.churn
+        if churn is not None:
+            self.controller.enable_churn(churn.on_evict)
+            for action in churn.actions:
+                self.events.push(action.to_event())
 
     def _schedule_next_arrival(self) -> bool:
         """Pull one request from the workload stream and schedule its arrival.

@@ -22,6 +22,12 @@ All sweeps execute through :mod:`repro.experiments.engine`, which fans
 independent runs out across worker processes when ``n_jobs > 1``.
 """
 
+from repro.experiments.churn_study import (
+    CHURN_STUDY_SCENARIOS,
+    churn_rows,
+    render_churn_study,
+    run_churn_study,
+)
 from repro.experiments.engine import ExperimentEngine, RunSpec, execute_spec
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
@@ -45,6 +51,7 @@ from repro.experiments.scenario_sweep import (
 )
 
 __all__ = [
+    "CHURN_STUDY_SCENARIOS",
     "DEFAULT_POLICIES",
     "WORKLOAD_MODES",
     "ExperimentConfig",
@@ -54,10 +61,13 @@ __all__ = [
     "build_profile_store",
     "build_request_stream",
     "build_requests",
+    "churn_rows",
     "execute_spec",
     "make_policy",
+    "render_churn_study",
     "render_scenario_comparison",
     "render_scenario_list",
+    "run_churn_study",
     "run_experiment",
     "run_matrix",
     "run_scenario_matrix",

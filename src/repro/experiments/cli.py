@@ -32,11 +32,13 @@ import sys
 from dataclasses import replace
 from typing import Callable, Sequence
 
+from repro.cluster.churn import churn_spec_names, get_churn_spec
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.metrics import METRICS_MODES, MetricsConfig
 from repro.cluster.topology import parse_topology, topology_names
 from repro.experiments.ablation import render_figure12, run_figure12
 from repro.experiments.arrivals import render_figure5, run_figure5
+from repro.experiments.churn_study import render_churn_study, churn_rows, run_churn_study
 from repro.experiments.end_to_end import (
     figure6_rows,
     figure7_curves,
@@ -83,6 +85,14 @@ def _topology_spec(value: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _churn_spec(value: str):
+    """argparse type wrapper surfacing get_churn_spec's informative errors."""
+    try:
+        return get_churn_spec(value)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(str(exc).strip("'\"")) from None
+
+
 def _cluster_from_args(args: argparse.Namespace) -> ClusterConfig:
     """Resolve the ``--topology`` / ``--num-invokers`` cluster overrides."""
     cluster = (
@@ -105,6 +115,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         metrics=MetricsConfig(mode=args.metrics_mode),
         workload_mode=args.workload_mode,
         loop_mode=args.loop_mode,
+        churn=args.churn,
     )
 
 
@@ -170,6 +181,15 @@ def _cmd_compare(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_churn(args: argparse.Namespace) -> str:
+    kwargs = {"config": _config_from_args(args), "n_jobs": _jobs(args)}
+    if args.scenario:
+        results = run_churn_study(args.scenario, **kwargs)
+    else:
+        results = run_churn_study(**kwargs)
+    return render_churn_study(churn_rows(results))
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "tables": _cmd_tables,
     "fig5": _cmd_fig5,
@@ -181,11 +201,13 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig11": _cmd_fig11,
     "fig12": _cmd_fig12,
     "compare": _cmd_compare,
+    "churn": _cmd_churn,
 }
 
 #: Commands excluded from ``esg-repro all`` (they need explicit scenario
-#: intent, and ``all`` predates the scenario subsystem).
-_NOT_IN_ALL = frozenset({"compare"})
+#: intent, and ``all`` predates the scenario subsystem; ``churn`` likewise
+#: post-dates it, and keeping it out preserves ``all``'s historical output).
+_NOT_IN_ALL = frozenset({"compare", "churn"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,7 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         choices=sorted(_COMMANDS) + ["all"],
-        help="which artefact to regenerate ('compare' sweeps policies over --scenario)",
+        help="which artefact to regenerate ('compare' sweeps policies over "
+        "--scenario; 'churn' runs the dynamic-cluster study)",
     )
     parser.add_argument("--requests", type=int, default=120, help="requests per run (default 120)")
     parser.add_argument("--seed", type=int, default=42, help="experiment seed (default 42)")
@@ -229,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         metavar="N",
         help="shorthand override of the invoker count alone",
+    )
+    parser.add_argument(
+        "--churn",
+        type=_churn_spec,
+        metavar="NAME",
+        help="capacity-churn recipe applied to every run: a registered "
+        f"churn spec ({', '.join(churn_spec_names())}); expanded to a "
+        "seed-derived join/leave/resize timeline per run (a scenario's own "
+        "churn applies only when this is left unset)",
     )
     parser.add_argument(
         "--metrics-mode",

@@ -16,6 +16,7 @@ from repro.baselines.aquatope import AquatopePolicy
 from repro.baselines.fastgshare import FaSTGSharePolicy
 from repro.baselines.infless import INFlessPolicy
 from repro.baselines.orion import OrionPolicy
+from repro.cluster.churn import ChurnSchedule, ChurnSpec, resolve_churn
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.controller import ControllerConfig
 from repro.cluster.metrics import MetricsCollector, MetricsConfig, RunSummary
@@ -103,6 +104,12 @@ class ExperimentConfig:
     #: cached dispatch, memoized hot-path lookups) or ``"compat"`` (the
     #: original loop — the parity anchor).  Summaries are byte-identical.
     loop_mode: str = "fast"
+    #: Capacity churn: a registered :class:`~repro.cluster.churn.ChurnSpec`
+    #: name, a spec (expanded with this config's seed at run time), or a
+    #: concrete :class:`~repro.cluster.churn.ChurnSchedule`.  ``None``
+    #: (default) defers to the scenario's ``churn``, if any; a static
+    #: cluster otherwise.
+    churn: "ChurnSpec | ChurnSchedule | str | None" = None
 
     def __post_init__(self) -> None:
         if self.workload_mode not in WORKLOAD_MODES:
@@ -305,6 +312,13 @@ def run_experiment(
             topology.to_cluster_config(index_mode=cluster_config.index_mode),
             keep_alive_ms=keep_alive_ms,
         )
+    churn = config.churn
+    if churn is None and scenario is not None:
+        churn = scenario.churn
+    # Specs/names expand into a concrete schedule with this run's seed and
+    # the *resolved* cluster config (a scenario-pinned topology changes the
+    # invoker count the schedule draws targets from).
+    churn_schedule = resolve_churn(churn, config.seed, cluster_config)
     streaming = config.workload_mode == "streaming" and requests is None
     workload: Sequence[Request] | RequestStream
     if requests is None:
@@ -351,6 +365,7 @@ def run_experiment(
             max_time_ms=max_time_ms,
             metrics=config.metrics,
             loop_mode=config.loop_mode,
+            churn=churn_schedule,
         ),
         setting_name=setting.name,
     )

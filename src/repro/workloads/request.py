@@ -57,6 +57,11 @@ class Request:
     plan_miss_count: int = 0
     #: Set when the final stage completes.
     completed_ms: float | None = None
+    #: Set when the request is terminally failed because a node eviction
+    #: dropped its in-flight work under ``on_evict="fail"`` (cluster churn).
+    #: Mutually exclusive with ``completed_ms``; an evicted request never
+    #: completes and therefore counts as an SLO miss.
+    evicted_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
@@ -92,6 +97,11 @@ class Request:
     def is_complete(self) -> bool:
         """True once every sink stage has completed."""
         return self.completed_ms is not None
+
+    @property
+    def is_evicted(self) -> bool:
+        """True if the request was terminally failed by a node eviction."""
+        return self.evicted_ms is not None
 
     @property
     def slo_hit(self) -> bool | None:

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.cluster.churn import ChurnSchedule, ChurnSpec
     from repro.cluster.topology import ClusterTopology
 
 from repro.profiles.profiler import ProfileStore
@@ -108,6 +109,14 @@ class Scenario:
         Applied by :func:`~repro.experiments.runner.run_experiment` when the
         experiment config leaves the cluster at the paper default, so a
         scenario can pin a non-paper cluster size without code edits.
+    churn:
+        Optional capacity-churn recipe — a registered
+        :class:`~repro.cluster.churn.ChurnSpec` name, a spec, or a concrete
+        :class:`~repro.cluster.churn.ChurnSchedule`.  Applied by
+        :func:`~repro.experiments.runner.run_experiment` when the experiment
+        config does not set its own churn; specs are expanded to schedules
+        with the run's seed, so the churn stream is deterministic per
+        ``(scenario, seed)`` just like the request stream.
     """
 
     name: str
@@ -120,10 +129,18 @@ class Scenario:
     horizon_ms: float | None = None
     stream: str | None = None
     topology: "ClusterTopology | str | None" = None
+    churn: "ChurnSpec | ChurnSchedule | str | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
+        if isinstance(self.churn, str):
+            # Same eager-resolution rationale as ``topology`` below: a typo
+            # fails at construction, and the picklable spec travels with the
+            # scenario to worker processes.
+            from repro.cluster.churn import get_churn_spec
+
+            object.__setattr__(self, "churn", get_churn_spec(self.churn))
         if isinstance(self.topology, str):
             # Resolve eagerly (mirrors RunSpec's scenario-name resolution):
             # a typo fails at construction, and the picklable object travels
@@ -402,6 +419,53 @@ def _register_builtin_scenarios() -> None:
             setting="relaxed-heavy",
             arrival=PoissonProcess(rate_per_s=2.0 * HEAVY_INTERVALS.mean_rate_per_s),
             horizon_ms=1_500.0,
+        )
+    )
+
+    # Dynamic-cluster (churn) scenarios: the paper's workloads on a cluster
+    # whose capacity changes mid-run.  The ``harvest-*`` pair models
+    # harvested/spot VMs (capacity mostly resizes, occasionally vanishes);
+    # the ``churn-*`` trio stresses membership churn and the two eviction
+    # policies.  Churn streams are seed-derived, so every policy in a row
+    # sees the identical join/leave/resize timeline.
+    register_scenario(
+        Scenario(
+            name="harvest-mild-normal",
+            description="Harvested-VM capacity drift (mostly resizes) under moderate-normal",
+            setting="moderate-normal",
+            churn="harvest-mild",
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="harvest-severe-normal",
+            description="Aggressive harvest churn: deep resizes plus node losses",
+            setting="moderate-normal",
+            churn="harvest-severe",
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="churn-mixed-normal",
+            description="Balanced join/leave/resize churn under moderate-normal",
+            setting="moderate-normal",
+            churn="churn-mixed",
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="churn-eviction-storm",
+            description="Leave-heavy churn; evicted in-flight work is requeued",
+            setting="moderate-normal",
+            churn="eviction-storm",
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="churn-eviction-fail",
+            description="Leave-heavy churn; evicted in-flight requests fail terminally",
+            setting="moderate-normal",
+            churn="eviction-fail",
         )
     )
 

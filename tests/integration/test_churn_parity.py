@@ -1,0 +1,188 @@
+"""Acceptance parity: churn runs are byte-identical across every mode axis.
+
+Capacity churn mutates the cluster mid-run — the part of the state space
+the loop/index/metrics/workload refactors never exercised.  These tests
+extend the existing parity matrices to churn scenarios: for identical
+``(scenario, seed)`` the RunSummary must be byte-identical across
+
+* ``loop_mode`` fast vs. compat (churn events ride the housekeeping heap
+  in fast mode and the mirror heap in compat mode),
+* ``index_mode`` indexed vs. scan (joins/leaves/resizes maintain the
+  capacity buckets vs. are served by fresh scans),
+* metrics retained vs. streaming (the ``evicted`` outcome folds at record
+  time in streaming mode and by scan in retained mode),
+* workload materialized vs. streaming,
+* engine ``n_jobs`` 1 vs. 4 and the spawn multiprocessing context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.metrics import MetricsConfig
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_profile_store,
+    run_experiment,
+)
+
+CHURN_SCENARIOS = ("harvest-severe-normal", "churn-eviction-fail")
+
+FAST = ExperimentConfig(num_requests=16, loop_mode="fast")
+COMPAT = ExperimentConfig(num_requests=16, loop_mode="compat")
+FAST_FULLY_STREAMING = ExperimentConfig(
+    num_requests=16,
+    loop_mode="fast",
+    workload_mode="streaming",
+    metrics=MetricsConfig(mode="streaming"),
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_profile_store()
+
+
+def assert_byte_identical(a, b) -> None:
+    assert asdict(a.summary) == asdict(b.summary)
+    assert a.summary == b.summary
+
+
+class TestChurnLoopModeParity:
+    @pytest.mark.parametrize("scenario", CHURN_SCENARIOS)
+    @pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+    def test_fast_vs_compat_byte_identical(self, store, policy, scenario):
+        fast = run_experiment(policy, config=FAST, profile_store=store, scenario=scenario)
+        compat = run_experiment(
+            policy, config=COMPAT, profile_store=store, scenario=scenario
+        )
+        assert_byte_identical(fast, compat)
+
+    def test_churn_actually_bites(self, store):
+        """Guard against vacuous parity: on this workload the fail-mode
+        scenario terminally evicts at least one request, and the harvest
+        scenario drops and requeues at least one in-flight task."""
+        failed = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario="churn-eviction-fail"
+        )
+        assert failed.summary.num_evicted > 0
+        assert failed.summary.evicted_tasks > 0
+        assert (
+            failed.summary.num_completed + failed.summary.num_evicted
+            == failed.summary.num_requests
+        )
+        harvested = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario="harvest-severe-normal"
+        )
+        assert harvested.summary.evicted_tasks > 0
+        assert harvested.summary.requeued_jobs > 0
+        assert harvested.summary.num_evicted == 0  # requeue mode never fails requests
+        assert harvested.summary.num_completed == harvested.summary.num_requests
+
+
+class TestChurnIndexModeParity:
+    @pytest.mark.parametrize("scenario", CHURN_SCENARIOS)
+    def test_indexed_vs_scan_byte_identical(self, store, scenario):
+        indexed = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario=scenario
+        )
+        scan = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(cluster=ClusterConfig(index_mode="scan")),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert_byte_identical(indexed, scan)
+
+    def test_scan_compat_corner_matches_indexed_fast(self, store):
+        """The two extreme corners of the (loop, index) square agree under
+        churn: scan+compat (the all-reference path) vs. indexed+fast."""
+        reference = run_experiment(
+            "Orion",
+            config=COMPAT.with_overrides(cluster=ClusterConfig(index_mode="scan")),
+            profile_store=store,
+            scenario="harvest-severe-normal",
+        )
+        optimized = run_experiment(
+            "Orion", config=FAST, profile_store=store, scenario="harvest-severe-normal"
+        )
+        assert_byte_identical(optimized, reference)
+
+
+class TestChurnMetricsAndWorkloadParity:
+    @pytest.mark.parametrize("scenario", CHURN_SCENARIOS)
+    def test_streaming_metrics_fold_evictions_identically(self, store, scenario):
+        retained = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario=scenario
+        )
+        streaming = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(metrics=MetricsConfig(mode="streaming")),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert_byte_identical(retained, streaming)
+        assert streaming.metrics.is_streaming
+
+    def test_fully_streaming_matches_compat_materialized(self, store):
+        streamed = run_experiment(
+            "ESG",
+            config=FAST_FULLY_STREAMING,
+            profile_store=store,
+            scenario="churn-eviction-fail",
+        )
+        materialized = run_experiment(
+            "ESG", config=COMPAT, profile_store=store, scenario="churn-eviction-fail"
+        )
+        assert_byte_identical(streamed, materialized)
+        assert streamed.requests == []
+
+
+class TestChurnEngineParity:
+    def _specs(self, config: ExperimentConfig) -> list[RunSpec]:
+        return [
+            RunSpec(policy="ESG", scenario=scenario, config=config)
+            for scenario in CHURN_SCENARIOS
+        ]
+
+    def test_worker_fanout_matches_in_process(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs(FAST))
+        fanned_out = ExperimentEngine(n_jobs=4).run(self._specs(FAST))
+        for a, b in zip(in_process, fanned_out):
+            assert asdict(a.summary) == asdict(b.summary)
+
+    def test_spawn_context_reproduces_churn_summaries(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs(FAST))
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(self._specs(FAST))
+        for a, b in zip(in_process, spawned):
+            assert asdict(a.summary) == asdict(b.summary)
+
+
+class TestChurnConfigPrecedence:
+    def test_config_churn_overrides_scenario_churn(self, store):
+        """An explicit ExperimentConfig.churn wins over the scenario's:
+        overriding the fail-mode scenario with a requeue-mode spec makes
+        terminal evictions impossible (the scenario's own schedule evicts
+        at least one request — pinned by test_churn_actually_bites)."""
+        override = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(churn="harvest-mild"),
+            profile_store=store,
+            scenario="churn-eviction-fail",
+        )
+        assert override.summary.num_evicted == 0
+
+    def test_static_scenarios_unchanged_by_churn_plumbing(self, store):
+        """A churn-free run must not even enable churn bookkeeping: the
+        summary carries all-zero churn counters."""
+        result = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario="paper-moderate-normal"
+        )
+        assert result.summary.num_evicted == 0
+        assert result.summary.evicted_tasks == 0
+        assert result.summary.requeued_jobs == 0
