@@ -1,0 +1,113 @@
+"""Sweep-cache benchmark: cold vs. warm runs of one result-store lattice.
+
+Runs the same 24-cell (policy x scenario x seed) lattice twice against a
+fresh content-addressed :class:`~repro.experiments.store.ResultStore`:
+
+* **cold** — the store is empty, every cell simulates and persists,
+* **warm** — every cell is a cache hit; zero simulations run.
+
+The headline acceptance numbers, asserted here and in the CI sweep-smoke
+job: the warm run executes **zero** cells, returns summaries byte-identical
+to the cold run, and is **>= 10x** faster end-to-end (measured warm rates
+are thousands of cells per second — the wall time is pure JSON decoding).
+
+Environment knobs::
+
+    REPRO_BENCH_REQUESTS=300                   # requests per cell
+    REPRO_BENCH_JOBS=0                         # workers for the cold run
+    REPRO_BENCH_JSON=bench_sweep_cache.json    # also write BENCH JSON here
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import bench_n_jobs, bench_requests, run_once
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweep import run_sweep
+
+#: The benchmark lattice: 2 policies x 2 scenarios x 6 seeds = 24 cells.
+POLICIES = ("ESG", "INFless")
+SCENARIOS = ("paper-moderate-normal", "poisson-normal")
+SEEDS = tuple(range(1, 7))
+
+#: Acceptance floor: a warm sweep must be at least this much faster.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def run_sweep_cache_benchmark() -> dict:
+    config = ExperimentConfig(num_requests=bench_requests(), seed=42)
+    n_jobs = bench_n_jobs()
+    with tempfile.TemporaryDirectory(prefix="esg-bench-store-") as tmp:
+        store = os.path.join(tmp, "store")
+        start = time.perf_counter()
+        cold = run_sweep(
+            POLICIES, SCENARIOS, seeds=SEEDS, store=store, config=config, n_jobs=n_jobs
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_sweep(
+            POLICIES, SCENARIOS, seeds=SEEDS, store=store, config=config, n_jobs=n_jobs
+        )
+        warm_s = time.perf_counter() - start
+    # SweepCell.summary is already a plain dict; dict equality over every
+    # field is the byte-identity check.
+    identical = len(cold.cells) == len(warm.cells) and all(
+        a.summary == b.summary and a.key == b.key
+        for a, b in zip(cold.cells, warm.cells)
+    )
+    return {
+        "benchmark": "sweep_cache",
+        "requests_per_cell": config.num_requests,
+        "n_jobs": n_jobs,
+        "cells": cold.total,
+        "cold": {"elapsed_s": round(cold_s, 4), "executed": cold.executed},
+        "warm": {"elapsed_s": round(warm_s, 4), "executed": warm.executed},
+        "warm_speedup": round(cold_s / max(1e-9, warm_s), 2),
+        "summaries_identical": bool(identical),
+    }
+
+
+def emit_bench_json(report: dict) -> None:
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print("BENCH_JSON " + json.dumps(report, sort_keys=True))
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+def render_report(report: dict) -> str:
+    return "\n".join(
+        [
+            "Sweep-cache benchmark  (content-addressed store, cold vs warm)",
+            f"  cells: {report['cells']}  requests/cell: {report['requests_per_cell']}  "
+            f"jobs: {report['n_jobs']}",
+            f"  cold:  {report['cold']['elapsed_s']:.3f}s  "
+            f"({report['cold']['executed']} executed)",
+            f"  warm:  {report['warm']['elapsed_s']:.3f}s  "
+            f"({report['warm']['executed']} executed)",
+            f"  speedup: {report['warm_speedup']:.1f}x  "
+            f"identical: {report['summaries_identical']}",
+        ]
+    )
+
+
+def test_sweep_cache_speedup(benchmark):
+    report = run_once(benchmark, run_sweep_cache_benchmark)
+    print()
+    print(render_report(report))
+    emit_bench_json(report)
+
+    # The hard guarantees: a warm sweep simulates nothing and returns the
+    # same summaries the cold run produced.
+    assert report["cold"]["executed"] == report["cells"]
+    assert report["warm"]["executed"] == 0
+    assert report["summaries_identical"]
+
+    # The acceptance number: the warm run is >= 10x faster than cold.
+    assert report["warm_speedup"] >= MIN_WARM_SPEEDUP, report

@@ -49,6 +49,20 @@ from repro.experiments.scenario_sweep import (
     run_scenario_sweep,
     scenario_rows,
 )
+from repro.experiments.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    canonical_policy_key,
+    spec_key,
+    spec_key_doc,
+)
+from repro.experiments.sweep import (
+    SweepCell,
+    SweepReport,
+    run_sweep,
+    write_report_csv,
+    write_report_json,
+)
 
 __all__ = [
     "CHURN_STUDY_SCENARIOS",
@@ -56,11 +70,16 @@ __all__ = [
     "WORKLOAD_MODES",
     "ExperimentConfig",
     "ExperimentEngine",
+    "ResultStore",
     "RunResult",
     "RunSpec",
+    "STORE_SCHEMA_VERSION",
+    "SweepCell",
+    "SweepReport",
     "build_profile_store",
     "build_request_stream",
     "build_requests",
+    "canonical_policy_key",
     "churn_rows",
     "execute_spec",
     "make_policy",
@@ -73,5 +92,10 @@ __all__ = [
     "run_scenario_matrix",
     "run_scenario_sweep",
     "run_setting",
+    "run_sweep",
     "scenario_rows",
+    "spec_key",
+    "spec_key_doc",
+    "write_report_csv",
+    "write_report_json",
 ]

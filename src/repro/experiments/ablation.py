@@ -11,7 +11,10 @@ batching the cost rises while hit rates stay comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.core.esg import ESGPolicy
 from repro.experiments.engine import ExperimentEngine, RunSpec, resolve_n_jobs
@@ -63,12 +66,16 @@ def run_figure12(
     config: ExperimentConfig | None = None,
     variants: Iterable[tuple[str, ESGPolicy]] | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> list[AblationRow]:
     """Run the ablation study under a heavy workload.
 
     The default variant set runs through the experiment engine (so
-    ``n_jobs`` parallelises it); passing live policy objects via
-    ``variants`` forces the sequential in-process path.
+    ``n_jobs`` parallelises it, and a ``store`` makes repeat renders load
+    every cached cell — the variant *label* stays out of the cache key;
+    the constructor overrides that define the variant are what hash);
+    passing live policy objects via ``variants`` forces the sequential
+    in-process path (no caching).
     """
     config = config or ExperimentConfig()
     if variants is None:
@@ -84,9 +91,14 @@ def run_figure12(
             for label, overrides in ablation_variant_overrides().items()
         ]
         labels = [spec.label for spec in specs]
-        summaries = [r.summary for r in ExperimentEngine(n_jobs).run(specs)]
+        summaries = [r.summary for r in ExperimentEngine(n_jobs, store=store).run(specs)]
     else:
         items = list(variants)
+        if store is not None:
+            raise ValueError(
+                "run_figure12 with store= requires the default variants; "
+                "live policy objects bypass the spec-keyed cache"
+            )
         if resolve_n_jobs(n_jobs) != 1:
             raise ValueError(
                 "run_figure12 with n_jobs != 1 requires the default variants; "

@@ -20,7 +20,10 @@ is readable straight off the table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.experiments.report import format_percent, format_table
 from repro.experiments.runner import (
@@ -67,16 +70,23 @@ def run_churn_study(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> dict[tuple[str, str], RunResult]:
     """Run ``policies`` x ``scenarios`` on identical per-scenario workloads.
 
     Every policy in a row sees the same seed-derived request stream *and*
     the same seed-derived churn timeline, so differences within a row are
     attributable to scheduling alone — the paper's methodology extended to
-    the capacity axis.
+    the capacity axis.  The study is summary-only, so with a ``store`` a
+    repeat render over an unchanged grid executes zero simulations.
     """
     return run_scenario_matrix(
-        list(scenarios), policies, config=config, n_jobs=n_jobs, summary_only=True
+        list(scenarios),
+        policies,
+        config=config,
+        n_jobs=n_jobs,
+        summary_only=True,
+        store=store,
     )
 
 

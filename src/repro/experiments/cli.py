@@ -23,6 +23,13 @@ List the named scenarios and compare every policy on one of them::
 
     esg-repro --list-scenarios
     esg-repro compare --scenario bursty-onoff-heavy --jobs 4
+
+Sweep the full policy lattice across all cores, persisting every cell in a
+content-addressed store so the next run (or any figure sharing cells) is
+incremental::
+
+    esg-repro sweep --seeds 1..8 --jobs 0 --store results/store
+    esg-repro sweep --seeds 1..8 --jobs 0 --store results/store --resume
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.cluster.churn import churn_spec_names, get_churn_spec
@@ -56,8 +64,19 @@ from repro.experiments.overhead import (
     run_bruteforce_comparison,
     run_figure10,
 )
-from repro.experiments.runner import LOOP_MODES, WORKLOAD_MODES, ExperimentConfig
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    LOOP_MODES,
+    WORKLOAD_MODES,
+    ExperimentConfig,
+)
 from repro.experiments.scenario_sweep import compare_on_scenarios, render_scenario_list
+from repro.experiments.sweep import (
+    DEFAULT_SWEEP_TOPOLOGIES,
+    run_sweep,
+    write_report_csv,
+    write_report_json,
+)
 from repro.experiments.sensitivity import (
     render_figure11,
     render_group_size_search,
@@ -132,7 +151,11 @@ def _cmd_fig5(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6_7_8(args: argparse.Namespace) -> str:
-    results = run_end_to_end(config=_config_from_args(args), n_jobs=_jobs(args))
+    # Figures 7/8 read raw latencies and per-app costs, so the cells run
+    # live even with --store (their summaries still warm the cache).
+    results = run_end_to_end(
+        config=_config_from_args(args), n_jobs=_jobs(args), store=args.store
+    )
     parts = [
         render_figure6(figure6_rows(results)),
         render_figure7(figure7_curves(results)),
@@ -142,21 +165,36 @@ def _cmd_fig6_7_8(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
-    results = run_end_to_end(config=_config_from_args(args), n_jobs=_jobs(args))
+    # Figure 6 reads only summaries: with --store, a warm render is
+    # pure cache loads — zero simulations.
+    results = run_end_to_end(
+        config=_config_from_args(args),
+        n_jobs=_jobs(args),
+        store=args.store,
+        summary_only=True,
+    )
     return render_figure6(figure6_rows(results))
 
 
 def _cmd_table4(args: argparse.Namespace) -> str:
-    return render_table4(run_table4(config=_config_from_args(args), n_jobs=_jobs(args)))
+    return render_table4(
+        run_table4(config=_config_from_args(args), n_jobs=_jobs(args), store=args.store)
+    )
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    return render_figure9(run_figure9(config=_config_from_args(args), n_jobs=_jobs(args)))
+    return render_figure9(
+        run_figure9(config=_config_from_args(args), n_jobs=_jobs(args), store=args.store)
+    )
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     parts = [
-        render_figure10(run_figure10(config=_config_from_args(args), n_jobs=_jobs(args))),
+        render_figure10(
+            run_figure10(
+                config=_config_from_args(args), n_jobs=_jobs(args), store=args.store
+            )
+        ),
         render_bruteforce_comparison(run_bruteforce_comparison()),
     ]
     return "\n\n".join(parts)
@@ -164,30 +202,108 @@ def _cmd_fig10(args: argparse.Namespace) -> str:
 
 def _cmd_fig11(args: argparse.Namespace) -> str:
     parts = [
-        render_figure11(run_figure11(config=_config_from_args(args), n_jobs=_jobs(args))),
+        render_figure11(
+            run_figure11(
+                config=_config_from_args(args), n_jobs=_jobs(args), store=args.store
+            )
+        ),
         render_group_size_search(run_group_size_search()),
     ]
     return "\n\n".join(parts)
 
 
 def _cmd_fig12(args: argparse.Namespace) -> str:
-    return render_figure12(run_figure12(config=_config_from_args(args), n_jobs=_jobs(args)))
+    return render_figure12(
+        run_figure12(config=_config_from_args(args), n_jobs=_jobs(args), store=args.store)
+    )
 
 
 def _cmd_compare(args: argparse.Namespace) -> str:
     scenarios = args.scenario or ["paper-moderate-normal"]
     return compare_on_scenarios(
-        scenarios, config=_config_from_args(args), n_jobs=_jobs(args)
+        scenarios, config=_config_from_args(args), n_jobs=_jobs(args), store=args.store
     )
 
 
 def _cmd_churn(args: argparse.Namespace) -> str:
-    kwargs = {"config": _config_from_args(args), "n_jobs": _jobs(args)}
+    kwargs = {"config": _config_from_args(args), "n_jobs": _jobs(args), "store": args.store}
     if args.scenario:
         results = run_churn_study(args.scenario, **kwargs)
     else:
         results = run_churn_study(**kwargs)
     return render_churn_study(churn_rows(results))
+
+
+def _parse_csv_list(value: str, what: str) -> list[str]:
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list of {what}")
+    return items
+
+
+def _parse_seeds(value: str) -> list[int]:
+    """Seeds flag: ``1,2,9`` and ranges like ``1..8`` (inclusive), mixable."""
+    seeds: list[int] = []
+    for token in _parse_csv_list(value, "seeds"):
+        try:
+            if ".." in token:
+                lo_text, hi_text = token.split("..", 1)
+                lo, hi = int(lo_text), int(hi_text)
+                if hi < lo:
+                    raise argparse.ArgumentTypeError(
+                        f"empty seed range {token!r} (end before start)"
+                    )
+                seeds.extend(range(lo, hi + 1))
+            else:
+                seeds.append(int(token))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad seed {token!r}: expected an integer or a lo..hi range"
+            ) from None
+    return seeds
+
+
+def _parse_policies(value: str) -> list[str]:
+    return _parse_csv_list(value, "policy names")
+
+
+def _parse_topologies(value: str) -> list[str]:
+    return _parse_csv_list(value, "topology specs")
+
+
+#: Default store path of ``esg-repro sweep`` when ``--store`` is not given.
+DEFAULT_SWEEP_STORE = "esg-store"
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    store_path = Path(args.store if args.store else DEFAULT_SWEEP_STORE)
+    if args.resume and not store_path.is_dir():
+        raise SystemExit(
+            f"esg-repro sweep: --resume expects an existing store at {store_path} "
+            "(nothing to resume; drop --resume to start a fresh sweep)"
+        )
+    report = run_sweep(
+        policies=args.policies if args.policies else list(DEFAULT_POLICIES),
+        scenarios=args.scenario or ["paper-moderate-normal"],
+        topologies=args.topologies if args.topologies else list(DEFAULT_SWEEP_TOPOLOGIES),
+        seeds=args.seeds if args.seeds else [args.seed],
+        store=store_path,
+        config=_config_from_args(args),
+        n_jobs=_jobs(args),
+        progress=True,
+    )
+    report_path = write_report_json(report, args.report)
+    lines = [
+        f"Sweep finished: {report.total} cells "
+        f"({report.cached} cached, {report.executed} executed) "
+        f"in {report.elapsed_s:.2f}s",
+        f"Store:  {report.store} ({len(report.cells)} cells resident or refreshed)",
+        f"Report: {report_path}",
+    ]
+    if args.csv:
+        csv_path = write_report_csv(report, args.csv)
+        lines.append(f"CSV:    {csv_path}")
+    return "\n".join(lines)
 
 
 _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
@@ -202,12 +318,14 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig12": _cmd_fig12,
     "compare": _cmd_compare,
     "churn": _cmd_churn,
+    "sweep": _cmd_sweep,
 }
 
 #: Commands excluded from ``esg-repro all`` (they need explicit scenario
 #: intent, and ``all`` predates the scenario subsystem; ``churn`` likewise
-#: post-dates it, and keeping it out preserves ``all``'s historical output).
-_NOT_IN_ALL = frozenset({"compare", "churn"})
+#: post-dates it, and keeping it out preserves ``all``'s historical output;
+#: ``sweep`` writes report files and a store, which ``all`` must not).
+_NOT_IN_ALL = frozenset({"compare", "churn", "sweep"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,9 +411,59 @@ def build_parser() -> argparse.ArgumentParser:
         "parity anchor (summaries are identical, compat is slower)",
     )
     parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="content-addressed result store: every summary-level cell "
+        "persists its RunSummary here and repeat runs load cached cells "
+        "instead of simulating (safe to share between concurrent runs; "
+        "'sweep' defaults to ./" + DEFAULT_SWEEP_STORE + " when unset)",
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list the registered workload scenarios and exit",
+    )
+    sweep = parser.add_argument_group(
+        "sweep options", "only used by the 'sweep' command"
+    )
+    sweep.add_argument(
+        "--policies",
+        type=_parse_policies,
+        metavar="LIST",
+        help="comma-separated policy names to sweep "
+        f"(default: {','.join(DEFAULT_POLICIES)})",
+    )
+    sweep.add_argument(
+        "--topologies",
+        type=_parse_topologies,
+        metavar="LIST",
+        help="comma-separated topology specs (names, N, or NxCxG; "
+        f"default: {','.join(DEFAULT_SWEEP_TOPOLOGIES)})",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        metavar="LIST",
+        help="comma-separated seeds, ranges allowed: '1,2,5..8' "
+        "(default: the single --seed value)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep: requires the store to exist "
+        "(cached cells are always reused; this flag merely asserts there "
+        "is something to resume)",
+    )
+    sweep.add_argument(
+        "--report",
+        metavar="PATH",
+        default="sweep_report.json",
+        help="where to write the JSON lattice report (default: sweep_report.json)",
+    )
+    sweep.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the lattice as a flat CSV (one row per cell)",
     )
     return parser
 

@@ -14,7 +14,10 @@ All three are derived from the same run matrix, so one call to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.experiments.report import format_percent, format_table
 from repro.experiments.runner import (
@@ -82,13 +85,29 @@ def run_end_to_end(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
+    summary_only: bool = False,
 ) -> dict[tuple[str, str], RunResult]:
     """Run the full (setting x policy) matrix used by Figures 6-8.
 
     ``n_jobs`` fans the independent cells out across worker processes
     (1 = in-process, ``None``/0 = one per core); results are identical.
+
+    ``store`` caches each cell's summary by spec identity.  Figure 6 reads
+    only summaries, so a ``summary_only=True`` matrix re-renders from a
+    warm store without a single simulation; Figures 7 and 8 read the raw
+    metrics, so they must keep ``summary_only=False`` — their cells always
+    execute, but still persist summaries that warm the cache for every
+    summary-level consumer (Figure 6, ``esg-repro sweep``, ...).
     """
-    return run_matrix(policies, settings, config=config, n_jobs=n_jobs)
+    return run_matrix(
+        policies,
+        settings,
+        config=config,
+        n_jobs=n_jobs,
+        store=store,
+        summary_only=summary_only,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -18,9 +18,10 @@ come back in spec order with summaries identical to the sequential path.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
 
 from repro.cluster.metrics import MetricsCollector, MetricsConfig
 from repro.cluster.policy_api import SchedulingPolicy
@@ -31,13 +32,21 @@ from repro.experiments.runner import (
     make_policy,
     run_experiment,
 )
+from repro.experiments.store import ResultStore
 from repro.profiles.configuration import ConfigurationSpace
 from repro.profiles.profiler import ProfileStore
 from repro.utils.validation import find_duplicates
 from repro.workloads.generator import WORKLOAD_SETTINGS, WorkloadSetting
 from repro.workloads.scenarios import Scenario, get_scenario
 
-__all__ = ["RunSpec", "ExperimentEngine", "execute_spec", "resolve_n_jobs"]
+__all__ = ["CellCallback", "RunSpec", "ExperimentEngine", "execute_spec", "resolve_n_jobs"]
+
+#: Progress hook invoked in the parent process once per finished cell:
+#: ``on_cell(index, spec, result, cached)`` — ``cached`` is True when the
+#: result was served from the engine's :class:`ResultStore` without running
+#: a simulation.  Cached cells report first (in spec order), then executed
+#: cells in completion order.
+CellCallback = Callable[[int, "RunSpec", "RunResult", bool], None]
 
 
 @dataclass(frozen=True)
@@ -178,6 +187,22 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return result
 
 
+def _execute_spec_stored(item: tuple[RunSpec, str | None]) -> RunResult:
+    """Worker task: execute one spec, persisting its summary when asked.
+
+    Persistence happens *in the worker*, immediately after the run: an
+    interrupted sweep keeps every completed cell, so ``--resume`` (or any
+    re-run against the same store) only pays for the cells that were in
+    flight or never started.  Writes are atomic, so concurrent workers —
+    even two sweeps sharing one store — cannot tear an entry.
+    """
+    spec, store_root = item
+    result = execute_spec(spec)
+    if store_root is not None:
+        ResultStore(store_root).put_summary(spec, result.summary)
+    return result
+
+
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalise a job count: ``None`` or ``<= 0`` means one per CPU core."""
     if n_jobs is None or n_jobs <= 0:
@@ -196,27 +221,86 @@ class ExperimentEngine:
     :class:`ProcessPoolExecutor`; ``None`` or ``0`` uses one worker per CPU
     core.  Because every run is seed-deterministic, the returned results are
     identical to the sequential ones, in spec order.
+
+    ``store`` (a :class:`~repro.experiments.store.ResultStore` or a path)
+    adds the incremental-re-run discipline: before executing, specs are
+    partitioned into **hits** — ``summary_only`` cells whose summary is
+    already cached, loaded with no subprocess and no simulation — and
+    **misses**, which are executed and then persisted (from inside the
+    worker, so interrupted sweeps keep every finished cell).  Results are
+    byte-identical either way; the store only changes *whether* a cell
+    simulates, never what it returns.
     """
 
-    def __init__(self, n_jobs: int | None = 1, *, mp_context: str | None = None) -> None:
+    def __init__(
+        self,
+        n_jobs: int | None = 1,
+        *,
+        mp_context: str | None = None,
+        store: "ResultStore | str | Path | None" = None,
+    ) -> None:
         self.n_jobs = resolve_n_jobs(n_jobs)
         self._mp_context = mp_context
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
 
-    def run(self, specs: Iterable[RunSpec]) -> list[RunResult]:
-        """Execute ``specs`` and return their results in spec order."""
+    @property
+    def _store_root(self) -> str | None:
+        return str(self.store.root) if self.store is not None else None
+
+    def run(
+        self, specs: Iterable[RunSpec], *, on_cell: CellCallback | None = None
+    ) -> list[RunResult]:
+        """Execute ``specs`` and return their results in spec order.
+
+        ``on_cell`` is invoked in the calling process once per finished
+        cell (cache hits first, then executions as they complete) — the
+        hook behind the sweep CLI's live done/cached/running counters.
+        """
         spec_list = list(specs)
         if not spec_list:
             return []
-        if self.n_jobs == 1:
-            return [execute_spec(spec) for spec in spec_list]
-        mp_context = None
-        if self._mp_context is not None:
-            import multiprocessing
+        results: list[RunResult | None] = [None] * len(spec_list)
+        pending: list[int] = []
+        for index, spec in enumerate(spec_list):
+            cached = self.store.load_result(spec) if self.store is not None else None
+            if cached is not None:
+                results[index] = cached
+                if on_cell is not None:
+                    on_cell(index, spec, cached, True)
+            else:
+                pending.append(index)
+        if pending:
+            if self.n_jobs == 1:
+                for index in pending:
+                    result = _execute_spec_stored((spec_list[index], self._store_root))
+                    results[index] = result
+                    if on_cell is not None:
+                        on_cell(index, spec_list[index], result, False)
+            else:
+                mp_context = None
+                if self._mp_context is not None:
+                    import multiprocessing
 
-            mp_context = multiprocessing.get_context(self._mp_context)
-        workers = min(self.n_jobs, len(spec_list))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
-            return list(pool.map(execute_spec, spec_list))
+                    mp_context = multiprocessing.get_context(self._mp_context)
+                workers = min(self.n_jobs, len(pending))
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=mp_context
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _execute_spec_stored, (spec_list[index], self._store_root)
+                        ): index
+                        for index in pending
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        result = future.result()
+                        results[index] = result
+                        if on_cell is not None:
+                            on_cell(index, spec_list[index], result, False)
+        return results  # type: ignore[return-value]  # every slot is filled
 
     def run_keyed(self, specs: Iterable[RunSpec]) -> dict[tuple[str, str], RunResult]:
         """Execute ``specs``; key results by ``(workload_name, policy_name)``.

@@ -10,7 +10,10 @@ scheduled."  The paper reports 9.6-51.7% for Orion's best-first search and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_percent, format_table
@@ -43,15 +46,19 @@ def run_table4(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> list[MissRateRow]:
-    """Measure the configuration miss rate of the static planners."""
+    """Measure the configuration miss rate of the static planners.
+
+    Summary-only: with a ``store``, repeat renders load every cached cell.
+    """
     config = config or ExperimentConfig()
     specs = [
         RunSpec(policy=policy, setting=setting, config=config, summary_only=True)
         for setting in settings
         for policy in policies
     ]
-    results = ExperimentEngine(n_jobs).run(specs)
+    results = ExperimentEngine(n_jobs, store=store).run(specs)
     return [
         MissRateRow(
             setting=spec.setting_name,

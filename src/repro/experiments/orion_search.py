@@ -10,7 +10,10 @@ twice — once charging the search overhead and once ignoring it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.experiments.report import format_percent, format_table
@@ -39,8 +42,12 @@ def run_figure9(
     setting: str = "strict-light",
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> list[OrionSearchPoint]:
-    """Sweep Orion's search cutoff with and without charging the overhead."""
+    """Sweep Orion's search cutoff with and without charging the overhead.
+
+    Summary-only: with a ``store``, repeat renders load every cached cell.
+    """
     config = config or ExperimentConfig()
     sweep = [
         (cutoff, count_overhead)
@@ -57,7 +64,7 @@ def run_figure9(
         )
         for cutoff, count_overhead in sweep
     ]
-    results = ExperimentEngine(n_jobs).run(specs)
+    results = ExperimentEngine(n_jobs, store=store).run(specs)
     return [
         OrionSearchPoint(
             cutoff_ms=cutoff,

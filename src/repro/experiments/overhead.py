@@ -9,7 +9,10 @@ configurations per function in the paper's measurement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.core.bruteforce import brute_force_search
 from repro.core.esg_1q import StageSearchSpec, esg_1q_search
@@ -55,8 +58,14 @@ def run_figure10(
     config: ExperimentConfig | None = None,
     group_size: int = 3,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> list[OverheadDistribution]:
-    """Measure ESG's scheduling overhead distribution per setting."""
+    """Measure ESG's scheduling overhead distribution per setting.
+
+    The distribution needs every raw overhead sample, so these cells always
+    execute (the summary cache cannot serve them); with a ``store`` they
+    still persist summaries that warm the cache for summary-level readers.
+    """
     config = config or ExperimentConfig()
     specs = [
         RunSpec(
@@ -67,7 +76,7 @@ def run_figure10(
         )
         for setting in settings
     ]
-    results = ExperimentEngine(n_jobs).run(specs)
+    results = ExperimentEngine(n_jobs, store=store).run(specs)
     return [
         OverheadDistribution(
             setting=spec.setting_name,

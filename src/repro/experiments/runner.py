@@ -10,7 +10,10 @@ scheduling algorithm" methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - engine/store build on this module
+    from repro.experiments.store import ResultStore
 
 from repro.baselines.aquatope import AquatopePolicy
 from repro.baselines.fastgshare import FaSTGSharePolicy
@@ -401,6 +404,8 @@ def run_matrix(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
+    summary_only: bool = False,
 ) -> dict[tuple[str, str], RunResult]:
     """Run every (setting, policy) pair on identical workloads.
 
@@ -415,6 +420,12 @@ def run_matrix(
     run is fully determined by its seed.  Parallel execution requires
     policies given as *names* — live policy objects cannot be rebuilt in a
     worker; use :class:`repro.experiments.engine.RunSpec` overrides instead.
+
+    ``store`` (a :class:`~repro.experiments.store.ResultStore` or path)
+    makes repeat matrices incremental: cells whose summary is cached load
+    without simulating (when ``summary_only=True``), and executed cells
+    persist their summaries for the next caller.  Like parallelism, it
+    requires policies given as names.
     """
     # Imported here because engine builds on this module's primitives.
     from repro.experiments.engine import ExperimentEngine, RunSpec, resolve_n_jobs
@@ -426,12 +437,22 @@ def run_matrix(
     ]
     if all(isinstance(p, str) for p in policy_list):
         specs = [
-            RunSpec(policy=policy, setting=setting, config=config)
+            RunSpec(
+                policy=policy,
+                setting=setting,
+                config=config,
+                summary_only=summary_only,
+            )
             for setting in setting_objs
             for policy in policy_list
         ]
-        return ExperimentEngine(n_jobs).run_keyed(specs)
+        return ExperimentEngine(n_jobs, store=store).run_keyed(specs)
 
+    if store is not None or summary_only:
+        raise ValueError(
+            "run_matrix with store= or summary_only= requires policy names "
+            "(strings); live policy objects bypass the spec-keyed cache"
+        )
     if resolve_n_jobs(n_jobs) != 1:
         raise ValueError(
             "run_matrix with n_jobs != 1 requires policy names (strings); "
@@ -481,6 +502,7 @@ def run_scenario_matrix(
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
     summary_only: bool = False,
+    store: "ResultStore | str | None" = None,
 ) -> dict[tuple[str, str], RunResult]:
     """Run every (scenario, policy) pair; key results by those names.
 
@@ -492,6 +514,9 @@ def run_scenario_matrix(
     resolved object travels inside the spec, so worker processes never
     depend on registry state.  Parallelism and determinism follow the
     engine's rules — results are byte-identical for any ``n_jobs``.
+    ``store`` adds incremental re-runs (see :func:`run_matrix`): with
+    ``summary_only=True`` a repeat matrix over an unchanged grid executes
+    zero simulations.
     """
     from repro.experiments.engine import ExperimentEngine, RunSpec
 
@@ -507,7 +532,7 @@ def run_scenario_matrix(
         for scenario in scenario_list
         for policy in policy_list
     ]
-    return ExperimentEngine(n_jobs).run_keyed(specs)
+    return ExperimentEngine(n_jobs, store=store).run_keyed(specs)
 
 
 # Mapping helpers used by several figure modules -------------------------------

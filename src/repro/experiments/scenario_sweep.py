@@ -10,7 +10,10 @@ it?" into one function call (or ``esg-repro compare --scenario ...``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.experiments.report import format_percent, format_table
 from repro.experiments.runner import (
@@ -50,12 +53,21 @@ def run_scenario_sweep(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> dict[tuple[str, str], RunResult]:
-    """Run ``policies`` x ``scenarios`` (default: the whole registry)."""
+    """Run ``policies`` x ``scenarios`` (default: the whole registry).
+
+    Summary-only: with a ``store``, repeat sweeps load every cached cell.
+    """
     if scenarios is None:
         scenarios = SCENARIOS.names()
     return run_scenario_matrix(
-        scenarios, policies, config=config, n_jobs=n_jobs, summary_only=True
+        scenarios,
+        policies,
+        config=config,
+        n_jobs=n_jobs,
+        summary_only=True,
+        store=store,
     )
 
 
@@ -126,10 +138,13 @@ def compare_on_scenarios(
     *,
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> str:
     """End-to-end helper for the CLI: sweep, flatten, render.
 
     Typos fail fast: spec construction resolves each name eagerly.
     """
-    results = run_scenario_sweep(list(scenario_names), config=config, n_jobs=n_jobs)
+    results = run_scenario_sweep(
+        list(scenario_names), config=config, n_jobs=n_jobs, store=store
+    )
     return render_scenario_comparison(scenario_rows(results))

@@ -14,7 +14,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.experiments.store import ResultStore
 
 from repro.core.esg_1q import StageSearchSpec, esg_1q_search
 from repro.experiments.engine import ExperimentEngine, RunSpec
@@ -55,8 +58,12 @@ def run_figure11(
     setting: str = "strict-light",
     config: ExperimentConfig | None = None,
     n_jobs: int | None = 1,
+    store: "ResultStore | str | None" = None,
 ) -> list[KSensitivityPoint]:
-    """Sweep the number of solutions K kept by ESG_1Q."""
+    """Sweep the number of solutions K kept by ESG_1Q.
+
+    Summary-only: with a ``store``, repeat renders load every cached cell.
+    """
     config = config or ExperimentConfig()
     specs = [
         RunSpec(
@@ -68,7 +75,7 @@ def run_figure11(
         )
         for k in k_values
     ]
-    results = ExperimentEngine(n_jobs).run(specs)
+    results = ExperimentEngine(n_jobs, store=store).run(specs)
     raw = [
         KSensitivityPoint(
             k=k,

@@ -1,0 +1,300 @@
+"""Fleet-scale sweeps: a (policy x scenario x topology x seed) lattice.
+
+``esg-repro sweep`` fans the full lattice out across worker processes and
+persists every cell's :class:`~repro.experiments.runner.RunSummary` in a
+content-addressed :class:`~repro.experiments.store.ResultStore`.  Because
+cells are keyed by *content* (not by position in the lattice), a re-run of
+the same sweep — or of any overlapping sweep, figure, or study — loads the
+cached cells and executes only what is genuinely new.  Interrupting a sweep
+loses nothing: finished cells were persisted worker-side, so ``--resume``
+(or simply re-running the same command) picks up where it stopped.
+
+The machine-readable report separates *content* (``lattice`` + ``cells``,
+stable across re-runs) from *execution* (``cached``/``executed`` counts and
+wall time, which differ between cold and warm runs) so downstream tooling
+can both diff the results and assert "the warm run executed nothing".
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TextIO
+
+from repro.cluster.topology import ClusterTopology, parse_topology
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, RunResult
+from repro.experiments.store import ResultStore, spec_key
+from repro.workloads.scenarios import SCENARIOS
+
+__all__ = [
+    "SWEEP_REPORT_SCHEMA",
+    "SweepCell",
+    "SweepReport",
+    "build_sweep_specs",
+    "run_sweep",
+    "write_report_csv",
+    "write_report_json",
+]
+
+#: Schema tag of the sweep report JSON.
+SWEEP_REPORT_SCHEMA = 1
+
+#: Lattice cells default to the paper testbed topology.
+DEFAULT_SWEEP_TOPOLOGIES: tuple[str, ...] = ("paper-16",)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One completed lattice cell: its coordinates, cache key, and summary."""
+
+    policy: str
+    scenario: str
+    topology: str
+    seed: int
+    key: str
+    cached: bool
+    summary: dict[str, object]
+
+    def content_row(self) -> dict[str, object]:
+        """The execution-independent portion (identical cold vs. warm)."""
+        return {
+            "policy": self.policy,
+            "scenario": self.scenario,
+            "topology": self.topology,
+            "seed": self.seed,
+            "key": self.key,
+            "summary": self.summary,
+        }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a sweep produced, ready for JSON/CSV serialisation."""
+
+    store: str
+    lattice: dict[str, list[object]]
+    cells: list[SweepCell]
+    elapsed_s: float
+
+    @property
+    def total(self) -> int:
+        """Number of lattice cells."""
+        return len(self.cells)
+
+    @property
+    def cached(self) -> int:
+        """Cells served from the store without running a simulation."""
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def executed(self) -> int:
+        """Cells that actually ran a simulation."""
+        return self.total - self.cached
+
+    def to_doc(self) -> dict[str, object]:
+        """The JSON document written by ``esg-repro sweep --report``."""
+        return {
+            "schema": SWEEP_REPORT_SCHEMA,
+            "store": self.store,
+            "lattice": self.lattice,
+            "execution": {
+                "total": self.total,
+                "cached": self.cached,
+                "executed": self.executed,
+                "elapsed_s": self.elapsed_s,
+            },
+            "cells": [cell.content_row() for cell in self.cells],
+        }
+
+
+def _resolve_topologies(
+    topologies: Iterable[ClusterTopology | str],
+) -> list[ClusterTopology]:
+    return [
+        parse_topology(item) if isinstance(item, str) else item for item in topologies
+    ]
+
+
+def build_sweep_specs(
+    policies: Sequence[str],
+    scenarios: Sequence[str],
+    topologies: Sequence[ClusterTopology | str],
+    seeds: Sequence[int],
+    *,
+    config: ExperimentConfig | None = None,
+) -> list[tuple[tuple[str, str, str, int], RunSpec]]:
+    """Expand the lattice into ``((policy, scenario, topology, seed), spec)``.
+
+    Every name resolves eagerly, so typos fail before any cell runs.  Cells
+    are summary-only: that is what makes them servable from the store.  The
+    topology pins the cluster shape (``cluster_pinned=True``), overriding any
+    scenario-pinned topology — the lattice axis wins, as ``--topology`` does
+    on the figure commands.
+    """
+    base = config or ExperimentConfig()
+    resolved = _resolve_topologies(topologies)
+    for scenario in scenarios:
+        SCENARIOS.get(scenario)  # fail fast on unknown names
+    items: list[tuple[tuple[str, str, str, int], RunSpec]] = []
+    for policy in policies:
+        for scenario in scenarios:
+            for topology in resolved:
+                for seed in seeds:
+                    cell_config = replace(
+                        base,
+                        seed=seed,
+                        cluster=topology.to_cluster_config(),
+                        cluster_pinned=True,
+                    )
+                    spec = RunSpec(
+                        policy=policy,
+                        scenario=scenario,
+                        config=cell_config,
+                        summary_only=True,
+                    )
+                    items.append(((policy, scenario, topology.name, seed), spec))
+    return items
+
+
+class _Progress:
+    """Single-line live progress: done/cached/running counts on stderr."""
+
+    def __init__(self, total: int, stream: TextIO | None = None) -> None:
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = total > 0
+
+    def update(self, coords: tuple[str, str, str, int], cached: bool) -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        if not self.enabled:
+            return
+        running = self.total - self.done
+        policy, scenario, topology, seed = coords
+        self.stream.write(
+            f"\r[{self.done}/{self.total}] cached={self.cached} "
+            f"executed={self.done - self.cached} running={running}  "
+            f"last={policy}/{scenario}/{topology}/seed{seed}\x1b[K"
+        )
+        self.stream.flush()
+
+    def finish(self) -> None:
+        if self.enabled:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def run_sweep(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    scenarios: Sequence[str] = ("paper-moderate-normal",),
+    topologies: Sequence[ClusterTopology | str] = DEFAULT_SWEEP_TOPOLOGIES,
+    seeds: Sequence[int] = (42,),
+    *,
+    store: ResultStore | str | Path,
+    config: ExperimentConfig | None = None,
+    n_jobs: int | None = 1,
+    progress: bool = False,
+    on_cell: Callable[[tuple[str, str, str, int], RunResult, bool], None] | None = None,
+) -> SweepReport:
+    """Run (or resume) the lattice and return the report.
+
+    The ``store`` is mandatory: incremental re-runs are the point of the
+    sweep.  Cells already in the store load without a simulation; the rest
+    execute (``n_jobs`` fans them out) and persist as they finish, so an
+    interrupted sweep resumes for free.
+    """
+    items = build_sweep_specs(policies, scenarios, topologies, seeds, config=config)
+    specs = [spec for _, spec in items]
+    resolved_topologies = _resolve_topologies(topologies)
+    meter = _Progress(len(items) if progress else 0)
+    cached_flags = [False] * len(items)
+
+    def _on_cell(index: int, spec: RunSpec, result: RunResult, cached: bool) -> None:
+        cached_flags[index] = cached
+        meter.update(items[index][0], cached)
+        if on_cell is not None:
+            on_cell(items[index][0], result, cached)
+
+    engine = ExperimentEngine(n_jobs, store=store)
+    started = time.perf_counter()
+    results = engine.run(specs, on_cell=_on_cell)
+    elapsed = time.perf_counter() - started
+    meter.finish()
+    cells = [
+        SweepCell(
+            policy=coords[0],
+            scenario=coords[1],
+            topology=coords[2],
+            seed=coords[3],
+            key=spec_key(spec),
+            cached=cached_flags[index],
+            summary=dataclasses.asdict(result.summary),
+        )
+        for index, ((coords, spec), result) in enumerate(zip(items, results))
+    ]
+    return SweepReport(
+        store=str(engine.store.root),
+        lattice={
+            "policies": list(policies),
+            "scenarios": list(scenarios),
+            "topologies": [topology.name for topology in resolved_topologies],
+            "seeds": [int(seed) for seed in seeds],
+        },
+        cells=cells,
+        elapsed_s=elapsed,
+    )
+
+
+def write_report_json(report: SweepReport, path: str | Path) -> Path:
+    """Write the sweep report as JSON (stable key order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report.to_doc(), indent=2, sort_keys=True, allow_nan=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+#: Summary fields flattened into the CSV (one column each).
+_CSV_SUMMARY_FIELDS = (
+    "slo_hit_rate",
+    "total_cost_cents",
+    "mean_latency_ms",
+    "mean_waiting_ms",
+    "mean_overhead_ms",
+    "num_completed",
+    "truncated",
+)
+
+
+def write_report_csv(report: SweepReport, path: str | Path) -> Path:
+    """Write the lattice as a flat CSV (one row per cell)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["policy", "scenario", "topology", "seed", "key", *_CSV_SUMMARY_FIELDS]
+        )
+        for cell in report.cells:
+            writer.writerow(
+                [
+                    cell.policy,
+                    cell.scenario,
+                    cell.topology,
+                    cell.seed,
+                    cell.key,
+                    *(cell.summary.get(field) for field in _CSV_SUMMARY_FIELDS),
+                ]
+            )
+    return path

@@ -1,0 +1,253 @@
+"""Tests for the sweep lattice (run_sweep, reports, and the CLI command)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+import repro.experiments.engine as engine_mod
+from repro.experiments.cli import _parse_seeds, build_parser, main
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import (
+    build_sweep_specs,
+    run_sweep,
+    write_report_csv,
+    write_report_json,
+)
+
+SMALL = ExperimentConfig(num_requests=6, seed=11)
+
+
+class TestBuildSweepSpecs:
+    def test_lattice_order_and_shape(self):
+        items = build_sweep_specs(
+            ["ESG", "INFless"],
+            ["paper-moderate-normal"],
+            ["paper-16", "rack-64"],
+            [1, 2],
+            config=SMALL,
+        )
+        assert len(items) == 2 * 1 * 2 * 2
+        coords = [c for c, _ in items]
+        assert coords[0] == ("ESG", "paper-moderate-normal", "paper-16", 1)
+        assert coords[-1] == ("INFless", "paper-moderate-normal", "rack-64", 2)
+
+    def test_cells_pin_the_topology_and_seed(self):
+        ((_, spec),) = build_sweep_specs(
+            ["ESG"], ["paper-moderate-normal"], ["rack-64"], [7], config=SMALL
+        )
+        assert spec.summary_only
+        assert spec.config.seed == 7
+        assert spec.config.cluster_pinned
+        assert spec.config.cluster.num_invokers == 64
+
+    def test_unknown_scenario_fails_before_any_run(self):
+        with pytest.raises(KeyError, match="scenario"):
+            build_sweep_specs(["ESG"], ["no-such-scenario"], ["paper-16"], [1])
+
+    def test_unknown_topology_fails_before_any_run(self):
+        with pytest.raises((KeyError, ValueError)):
+            build_sweep_specs(["ESG"], ["paper-moderate-normal"], ["no-such"], [1])
+
+
+class TestRunSweep:
+    def test_cold_then_warm(self, tmp_path):
+        kwargs = dict(
+            policies=["ESG", "INFless"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1, 2],
+            store=tmp_path / "store",
+            config=SMALL,
+        )
+        cold = run_sweep(**kwargs)
+        assert (cold.total, cold.cached, cold.executed) == (4, 0, 4)
+        warm = run_sweep(**kwargs)
+        assert (warm.total, warm.cached, warm.executed) == (4, 4, 0)
+        # Content is identical; only the execution block differs.
+        cold_doc, warm_doc = cold.to_doc(), warm.to_doc()
+        cold_doc.pop("execution")
+        warm_doc.pop("execution")
+        assert cold_doc == warm_doc
+
+    def test_warm_sweep_simulates_nothing(self, tmp_path, monkeypatch):
+        kwargs = dict(
+            policies=["ESG"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1, 2],
+            store=tmp_path / "store",
+            config=SMALL,
+        )
+        run_sweep(**kwargs)
+
+        def boom(item):
+            raise AssertionError(f"warm sweep executed {item[0]}")
+
+        monkeypatch.setattr(engine_mod, "_execute_spec_stored", boom)
+        warm = run_sweep(**kwargs)
+        assert warm.executed == 0
+
+    def test_overlapping_lattice_reuses_shared_cells(self, tmp_path):
+        store = tmp_path / "store"
+        run_sweep(
+            policies=["ESG"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1, 2],
+            store=store,
+            config=SMALL,
+        )
+        grown = run_sweep(
+            policies=["ESG", "INFless"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1, 2, 3],
+            store=store,
+            config=SMALL,
+        )
+        assert grown.total == 6
+        assert grown.cached == 2  # the ESG seeds 1-2 cells from the first sweep
+        assert grown.executed == 4
+
+    def test_report_files(self, tmp_path):
+        report = run_sweep(
+            policies=["ESG"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1],
+            store=tmp_path / "store",
+            config=SMALL,
+        )
+        json_path = write_report_json(report, tmp_path / "rep.json")
+        doc = json.loads(json_path.read_text())
+        assert doc["execution"]["total"] == 1
+        assert doc["lattice"]["policies"] == ["ESG"]
+        (cell,) = doc["cells"]
+        assert cell["policy"] == "ESG"
+        assert cell["topology"] == "paper-16"
+        assert len(cell["key"]) == 32
+        assert cell["summary"]["num_requests"] == SMALL.num_requests
+        csv_path = write_report_csv(report, tmp_path / "rep.csv")
+        rows = list(csv.DictReader(csv_path.open()))
+        assert len(rows) == 1
+        assert rows[0]["policy"] == "ESG"
+        assert rows[0]["key"] == cell["key"]
+
+    def test_progress_meter_writes_counts(self, tmp_path, capsys):
+        run_sweep(
+            policies=["ESG"],
+            scenarios=["paper-moderate-normal"],
+            seeds=[1],
+            store=tmp_path / "store",
+            config=SMALL,
+            progress=True,
+        )
+        err = capsys.readouterr().err
+        assert "[1/1]" in err
+        assert "cached=0" in err
+        assert "executed=1" in err
+
+
+class TestSeedParsing:
+    def test_plain_lists_and_ranges(self):
+        assert _parse_seeds("1,2,9") == [1, 2, 9]
+        assert _parse_seeds("5..8") == [5, 6, 7, 8]
+        assert _parse_seeds("1,5..7,11") == [1, 5, 6, 7, 11]
+
+    def test_bad_tokens_are_usage_errors(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_seeds("nope")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_seeds("8..5")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_seeds(",")
+
+
+class TestSweepCommand:
+    def _run(self, tmp_path, *extra):
+        argv = [
+            "sweep",
+            "--requests",
+            "6",
+            "--policies",
+            "ESG,INFless",
+            "--seeds",
+            "1..2",
+            "--store",
+            str(tmp_path / "store"),
+            "--report",
+            str(tmp_path / "report.json"),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return json.loads((tmp_path / "report.json").read_text())
+
+    def test_cold_then_resume(self, tmp_path, capsys):
+        doc = self._run(tmp_path)
+        assert doc["execution"] == {
+            "total": 4,
+            "cached": 0,
+            "executed": 4,
+            "elapsed_s": doc["execution"]["elapsed_s"],
+        }
+        out = capsys.readouterr().out
+        assert "4 cells (0 cached, 4 executed)" in out
+
+        warm = self._run(tmp_path, "--resume")
+        assert warm["execution"]["executed"] == 0
+        assert warm["execution"]["cached"] == 4
+        assert warm["cells"] == doc["cells"]
+        assert warm["lattice"] == doc["lattice"]
+
+    def test_csv_output(self, tmp_path):
+        self._run(tmp_path, "--csv", str(tmp_path / "cells.csv"))
+        rows = list(csv.DictReader((tmp_path / "cells.csv").open()))
+        assert len(rows) == 4
+        assert {row["policy"] for row in rows} == {"ESG", "INFless"}
+
+    def test_resume_without_a_store_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(
+                [
+                    "sweep",
+                    "--store",
+                    str(tmp_path / "missing"),
+                    "--resume",
+                ]
+            )
+
+    def test_sweep_is_not_part_of_all(self):
+        from repro.experiments.cli import _NOT_IN_ALL
+
+        assert "sweep" in _NOT_IN_ALL
+
+    def test_parser_accepts_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--seeds", "1..3", "--topologies", "paper-16,rack-64"]
+        )
+        assert args.seeds == [1, 2, 3]
+        assert args.topologies == ["paper-16", "rack-64"]
+
+
+class TestFigureCommandsWithStore:
+    def test_fig6_warm_render_simulates_nothing(self, tmp_path, monkeypatch):
+        store = str(tmp_path / "store")
+        argv = ["fig6", "--requests", "6", "--store", store]
+        assert main(argv) == 0
+        assert len(ResultStore(store)) > 0
+
+        def boom(item):
+            raise AssertionError(f"warm fig6 executed {item[0]}")
+
+        monkeypatch.setattr(engine_mod, "_execute_spec_stored", boom)
+        assert main(argv) == 0
+
+    def test_fig6_output_identical_cold_vs_warm(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["fig6", "--requests", "6", "--store", store]
+        main(argv)
+        cold = capsys.readouterr().out
+        main(argv)
+        warm = capsys.readouterr().out
+        assert warm == cold
