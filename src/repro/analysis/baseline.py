@@ -1,0 +1,136 @@
+"""Baseline file: adopt the linter incrementally, but ratcheted.
+
+A baseline entry grandfathers existing violations by *content* — rule code,
+path, and the stripped source line — never by line number, so unrelated
+edits do not churn it.  Matching is strict both ways:
+
+- a violation not covered by the baseline fails the lint (new debt is
+  rejected), and
+- a baseline entry matching fewer violations than its ``count`` is *stale*
+  and fails the lint too (paid-off debt must be deleted from the baseline —
+  the ratchet only ever tightens).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.violations import Violation
+
+__all__ = ["Baseline", "BaselineEntry", "match_baseline"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation site."""
+
+    rule: str
+    path: str
+    snippet: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(path.read_text())
+        if document.get("version") != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {document.get('version')!r} "
+                f"(expected {BASELINE_SCHEMA_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                snippet=str(entry["snippet"]),
+                count=int(entry.get("count", 1)),
+            )
+            for entry in document.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        """Build the baseline that grandfathers exactly ``violations``."""
+        counts: Counter[tuple[str, str, str]] = Counter(
+            (violation.rule, violation.path, violation.snippet)
+            for violation in violations
+            if not violation.suppressed
+        )
+        entries = [
+            BaselineEntry(rule=rule, path=path, snippet=snippet, count=count)
+            for (rule, path, snippet), count in sorted(counts.items())
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": BASELINE_SCHEMA_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "snippet": entry.snippet,
+                    "count": entry.count,
+                }
+                for entry in self.entries
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def match_baseline(
+    violations: list[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[BaselineEntry]]:
+    """Mark baselined violations; report stale entries.
+
+    Returns ``(violations, stale_entries)`` where ``violations`` is a new
+    list with ``baselined=True`` set on matched items (suppressed violations
+    never consume baseline budget) and ``stale_entries`` lists baseline
+    entries whose remaining ``count`` found no matching violation.
+    """
+    budget: Counter[tuple[str, str, str]] = Counter()
+    for entry in baseline.entries:
+        budget[entry.key()] += entry.count
+
+    matched: list[Violation] = []
+    for violation in violations:
+        key = (violation.rule, violation.path, violation.snippet)
+        if not violation.suppressed and budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(
+                Violation(
+                    rule=violation.rule,
+                    path=violation.path,
+                    line=violation.line,
+                    col=violation.col,
+                    message=violation.message,
+                    snippet=violation.snippet,
+                    suppressed=violation.suppressed,
+                    justification=violation.justification,
+                    baselined=True,
+                )
+            )
+        else:
+            matched.append(violation)
+
+    stale = [
+        BaselineEntry(rule=rule, path=path, snippet=snippet, count=count)
+        for (rule, path, snippet), count in sorted(budget.items())
+        if count > 0
+    ]
+    return matched, stale

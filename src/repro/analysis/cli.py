@@ -1,0 +1,148 @@
+"""Command-line driver for the determinism linter.
+
+Reached two ways: ``esg-repro lint ...`` (the subcommand delegates here)
+and ``python -m repro.analysis ...`` (standalone, importable without the
+simulator).  Exit code 0 means the tree honors the byte-identity contract
+(modulo justified suppressions and the baseline); 1 means violations or a
+stale baseline; 2 means usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    LintConfig,
+    analyze_paths,
+    format_json,
+    format_text,
+)
+from repro.analysis.rules import RULES
+
+__all__ = ["build_lint_parser", "main", "run_lint"]
+
+#: Default scan root: the package sources, resolved relative to this file so
+#: the linter works from any working directory of a source checkout.
+DEFAULT_TARGET = Path(__file__).resolve().parents[2] / "repro"
+
+#: Default baseline location, next to the package sources.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "lint-baseline.json"
+
+
+def build_lint_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
+    """Add the lint options to ``parser`` (or a fresh standalone parser)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.analysis",
+            description="AST-based determinism linter enforcing the "
+            "byte-identity contract (see docs/determinism.md).",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to analyze (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format (json is the CI artifact schema)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help="apply a baseline file: grandfathered violations pass, but "
+        "entries that no longer match fail (the ratchet); with no PATH, "
+        f"uses {DEFAULT_BASELINE.name} next to the package",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="PATH",
+        help="write a baseline grandfathering every current violation, then "
+        "exit 0 (adoption entry point; the ratchet applies from then on)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def render_rule_list() -> str:
+    lines = ["The determinism rule catalog (docs/determinism.md has worked examples):"]
+    for rule in RULES:
+        layer = "  [layered: skipped in the CLI/benchmark layer]" if rule.layered else ""
+        lines.append(f"  {rule.code}  {rule.name:<16} {rule.summary}{layer}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths = args.paths or [DEFAULT_TARGET]
+    missing = [str(path) for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"esg-repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = tuple(code.strip() for code in args.select.split(",") if code.strip())
+    try:
+        config = LintConfig(select=select)
+        config.active_rules()  # validate --select eagerly
+    except ValueError as error:
+        print(f"esg-repro lint: {error}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and args.write_baseline is None:
+        if not args.baseline.exists():
+            print(
+                f"esg-repro lint: baseline {args.baseline} does not exist "
+                "(create one with --write-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = Baseline.load(args.baseline)
+
+    report = analyze_paths(paths, config=config, baseline=baseline)
+
+    if args.write_baseline is not None:
+        new_baseline = Baseline.from_violations(report.violations)
+        new_baseline.save(args.write_baseline)
+        print(
+            f"wrote baseline {args.write_baseline} grandfathering "
+            f"{sum(entry.count for entry in new_baseline.entries)} violation(s)"
+        )
+        return 0
+
+    print(format_json(report) if args.fmt == "json" else format_text(report))
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)

@@ -1,0 +1,153 @@
+"""Per-module analysis context shared by every rule.
+
+Builds, once per file:
+
+- the parsed AST,
+- an import table mapping local names to dotted module paths so rules can
+  resolve ``pc()`` back to ``time.perf_counter`` through any alias,
+- a parent map (child node -> parent node) for upward context walks,
+- an enclosing-scope map (node -> innermost function/class qualname stack),
+- the parsed inline suppressions.
+
+All of it is stdlib ``ast`` — the analyzer must run in any environment the
+package itself runs in, with no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.suppressions import Suppression, parse_suppressions
+
+__all__ = ["ModuleContext"]
+
+
+def _build_import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from time import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``
+    Relative imports resolve to their bare module path (package-relative
+    determinism hazards are named absolutely in the rule tables, so a
+    relative alias simply never matches — conservative, no false positives).
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds c -> a.b.
+                table[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: not resolvable to a stdlib path
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{module}.{alias.name}" if module else alias.name
+    return table
+
+
+def _build_parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyze one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    imports: dict[str, str]
+    parents: dict[ast.AST, ast.AST]
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<memory>") -> "ModuleContext":
+        """Parse ``source`` and precompute the shared lookup tables."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            imports=_build_import_table(tree),
+            parents=_build_parent_map(tree),
+            suppressions=parse_suppressions(lines),
+        )
+
+    # ------------------------------------------------------------------
+    # name resolution
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a ``Name``/``Attribute`` chain through import aliases.
+
+        ``np.random.normal`` resolves to ``numpy.random.normal`` when ``np``
+        was imported as numpy; a bare local name that is not an import
+        resolves to itself (so builtins like ``hash`` resolve to ``hash``
+        unless shadowed by an import).  Returns ``None`` for anything that
+        is not a plain dotted chain (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Dotted path of a call's function, or ``None``."""
+        return self.resolve(node.func)
+
+    # ------------------------------------------------------------------
+    # structural helpers
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Chain of parents from ``node`` (exclusive) to the module root."""
+        chain: list[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parents.get(current)
+        return chain
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Innermost function definition containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """Innermost class definition containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def snippet(self, node: ast.AST) -> str:
+        """The stripped physical source line a node starts on."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or not 1 <= lineno <= len(self.lines):
+            return ""
+        return self.lines[lineno - 1].strip()

@@ -1,0 +1,316 @@
+"""Analysis driver: run the rule catalog over sources, files, or trees.
+
+The engine owns everything that is not a rule: file discovery, the layer
+allowlist, suppression application (including the REP000 meta-diagnostics
+for malformed or unused suppressions), baseline matching, and the text /
+JSON report formats.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry, match_baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.rules import META_RULE_CODE, RULES
+from repro.analysis.violations import Rule, Violation
+
+__all__ = [
+    "DEFAULT_LAYER_ALLOWLIST",
+    "LintConfig",
+    "LintReport",
+    "analyze_path",
+    "analyze_paths",
+    "analyze_source",
+    "format_json",
+    "format_text",
+]
+
+REPORT_SCHEMA_VERSION = 1
+
+#: Files where wall-clock, global-RNG and environment reads are legitimate:
+#: the CLI / benchmark layer reports real elapsed time and reads real knobs.
+#: Matched with fnmatch against the forward-slash relative path.
+DEFAULT_LAYER_ALLOWLIST: tuple[str, ...] = (
+    "*/experiments/cli.py",
+    "experiments/cli.py",
+    "benchmarks/*",
+    "*/conftest.py",
+    "conftest.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for one analysis run."""
+
+    #: fnmatch patterns (on the relative posix path) exempt from layered rules.
+    layer_allowlist: tuple[str, ...] = DEFAULT_LAYER_ALLOWLIST
+    #: Restrict to these rule codes (None = all registered rules).
+    select: tuple[str, ...] | None = None
+
+    def active_rules(self) -> tuple[Rule, ...]:
+        if self.select is None:
+            return RULES
+        unknown = set(self.select) - {rule.code for rule in RULES}
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        return tuple(rule for rule in RULES if rule.code in self.select)
+
+    def is_allowlisted(self, relative_path: str) -> bool:
+        return any(
+            fnmatch.fnmatch(relative_path, pattern) for pattern in self.layer_allowlist
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of analyzing a set of files."""
+
+    root: str
+    violations: list[Violation] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def failures(self) -> list[Violation]:
+        return [violation for violation in self.violations if violation.is_failure]
+
+    @property
+    def suppressed(self) -> list[Violation]:
+        return [violation for violation in self.violations if violation.suppressed]
+
+    @property
+    def baselined(self) -> list[Violation]:
+        return [violation for violation in self.violations if violation.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.stale_baseline
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    *,
+    config: LintConfig | None = None,
+) -> list[Violation]:
+    """Analyze one module's source; returns every violation (suppressed too).
+
+    ``path`` is used both for reporting and for the layer allowlist, so
+    pass the path relative to the scan root when analyzing files.
+    """
+    config = config or LintConfig()
+    ctx = ModuleContext.from_source(source, path=path)
+    allowlisted = config.is_allowlisted(path)
+
+    raw: list[Violation] = []
+    for rule in config.active_rules():
+        if rule.layered and allowlisted:
+            continue
+        for finding in rule.check(ctx):
+            node = finding.node
+            raw.append(
+                Violation(
+                    rule=rule.code,
+                    path=path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=finding.message,
+                    snippet=ctx.snippet(node),
+                )
+            )
+
+    violations: list[Violation] = []
+    for violation in raw:
+        suppression = next(
+            (
+                candidate
+                for candidate in ctx.suppressions
+                if candidate.covers(violation.rule, violation.line)
+            ),
+            None,
+        )
+        if suppression is not None:
+            suppression.used = True
+            violations.append(
+                Violation(
+                    rule=violation.rule,
+                    path=violation.path,
+                    line=violation.line,
+                    col=violation.col,
+                    message=violation.message,
+                    snippet=violation.snippet,
+                    suppressed=True,
+                    justification=suppression.justification,
+                )
+            )
+        else:
+            violations.append(violation)
+
+    # Meta-diagnostics: malformed suppressions are always errors;
+    # a well-formed suppression that silenced nothing is dead weight that
+    # would hide a future regression, so it must be removed.
+    for suppression in ctx.suppressions:
+        if suppression.malformed:
+            violations.append(
+                Violation(
+                    rule=META_RULE_CODE,
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    message=f"invalid suppression: {suppression.malformed}",
+                    snippet=ctx.lines[suppression.line - 1].strip()
+                    if suppression.line <= len(ctx.lines)
+                    else "",
+                )
+            )
+        elif not suppression.used:
+            codes = ",".join(suppression.codes)
+            violations.append(
+                Violation(
+                    rule=META_RULE_CODE,
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"unused suppression for {codes}: no such violation on "
+                        "the target line — delete the comment (stale "
+                        "suppressions hide future regressions)"
+                    ),
+                    snippet=ctx.lines[suppression.line - 1].strip()
+                    if suppression.line <= len(ctx.lines)
+                    else "",
+                )
+            )
+
+    violations.sort(key=lambda violation: (violation.line, violation.col, violation.rule))
+    return violations
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Python files under ``root`` in a deterministic order."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def analyze_path(
+    root: Path,
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Analyze every ``*.py`` under ``root`` (or the single file ``root``)."""
+    return analyze_paths([root], config=config, baseline=baseline)
+
+
+def analyze_paths(
+    roots: Sequence[Path],
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Analyze several roots into one report.
+
+    Paths in the report are relative to each file's root (posix-style), so
+    baselines are stable regardless of where the repo is checked out.
+    """
+    config = config or LintConfig()
+    violations: list[Violation] = []
+    files = 0
+    for root in roots:
+        root = Path(root)
+        base = root if root.is_dir() else root.parent
+        for file_path in iter_python_files(root):
+            relative = file_path.relative_to(base).as_posix()
+            files += 1
+            source = file_path.read_text()
+            violations.extend(analyze_source(source, path=relative, config=config))
+
+    stale: list[BaselineEntry] = []
+    if baseline is not None:
+        violations, stale = match_baseline(violations, baseline)
+
+    violations.sort(key=lambda violation: (violation.path, violation.line, violation.col))
+    return LintReport(
+        root=", ".join(str(root) for root in roots),
+        violations=violations,
+        stale_baseline=stale,
+        files_analyzed=files,
+    )
+
+
+# ----------------------------------------------------------------------
+# report formats
+
+def format_text(report: LintReport) -> str:
+    """Human-readable report: one line per violation, then a summary."""
+    lines: list[str] = []
+    for violation in report.violations:
+        status = ""
+        if violation.suppressed:
+            status = f"  [suppressed: {violation.justification}]"
+        elif violation.baselined:
+            status = "  [baselined]"
+        lines.append(
+            f"{violation.location()}: {violation.rule} {violation.message}{status}"
+        )
+    for entry in report.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"(snippet {entry.snippet!r} x{entry.count} no longer matches — "
+            "remove it from the baseline)"
+        )
+    failures = len(report.failures)
+    lines.append(
+        f"{report.files_analyzed} files analyzed: {failures} failure(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed, "
+        f"{len(report.stale_baseline)} stale baseline entr(ies)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact)."""
+    document = {
+        "version": REPORT_SCHEMA_VERSION,
+        "root": report.root,
+        "files_analyzed": report.files_analyzed,
+        "ok": report.ok,
+        "counts": {
+            "total": len(report.violations),
+            "failures": len(report.failures),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale_baseline),
+        },
+        "violations": [violation.to_json() for violation in report.violations],
+        "stale_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "snippet": entry.snippet,
+                "count": entry.count,
+            }
+            for entry in report.stale_baseline
+        ],
+        "rules": {
+            rule.code: {
+                "name": rule.name,
+                "summary": rule.summary,
+                "layered": rule.layered,
+            }
+            for rule in RULES
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,118 @@
+"""Inline suppression comments: ``# repro: allow[REP004] justification``.
+
+A suppression names one or more rule codes and MUST carry a justification —
+the contract is that every intentional nondeterminism hazard documents why
+it is safe.  A bare ``# repro: allow[REP004]`` is itself a violation
+(:data:`repro.analysis.rules.META_RULE_CODE`) and suppresses nothing.
+
+Placement: a suppression on a code line covers violations reported on that
+line; a suppression on a comment-only line covers the next code line (the
+common style for long statements).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+#: Matches a hash comment carrying ``repro: allow[CODE, ...] reason`` (the
+#: marker is spelled without its leading hash here so this comment does not
+#: register as a suppression itself).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[^\]]*)\]\s*(?P<justification>.*)$"
+)
+_CODE_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int  # line the comment physically sits on (1-based)
+    target_line: int  # line whose violations it covers
+    codes: tuple[str, ...]
+    justification: str
+    malformed: str = ""  # non-empty: why the suppression is invalid
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, code: str, line: int) -> bool:
+        """Whether this (well-formed) suppression silences ``code`` at ``line``."""
+        return not self.malformed and line == self.target_line and code in self.codes
+
+
+def _is_comment_only(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.startswith("#")
+
+
+def _comment_lines(source_lines: list[str]) -> list[tuple[int, str]]:
+    """(line_number, comment_text) for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps markers inside
+    string literals and docstrings — e.g. the examples in this very module —
+    from registering as suppressions.  If the file does not tokenize, fall
+    back to the line scan: the analyzer wants suppressions even from files
+    it cannot fully parse.
+    """
+    source = "\n".join(source_lines) + "\n"
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (index, raw)
+            for index, raw in enumerate(source_lines, start=1)
+            if "#" in raw
+        ]
+
+
+def parse_suppressions(source_lines: list[str]) -> list[Suppression]:
+    """Extract every suppression comment from a module's comment tokens."""
+    suppressions: list[Suppression] = []
+    for index, comment in _comment_lines(source_lines):
+        match = _SUPPRESSION_RE.search(comment)
+        if match is None:
+            continue
+        raw = source_lines[index - 1] if index <= len(source_lines) else comment
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        justification = match.group("justification").strip()
+        malformed = ""
+        if not codes:
+            malformed = "suppression lists no rule codes"
+        else:
+            bad = [code for code in codes if not _CODE_RE.match(code)]
+            if bad:
+                malformed = f"unknown rule code(s) {', '.join(bad)} (expected REPnnn)"
+        if not malformed and not justification:
+            malformed = (
+                "suppression has no justification (a reason is mandatory: "
+                "# repro: allow[CODE] <why this is safe>)"
+            )
+        target_line = index
+        if _is_comment_only(raw):
+            # Standalone comment: covers the next non-blank, non-comment line.
+            target_line = index
+            for offset, later in enumerate(source_lines[index:], start=index + 1):
+                stripped = later.strip()
+                if stripped and not stripped.startswith("#"):
+                    target_line = offset
+                    break
+        suppressions.append(
+            Suppression(
+                line=index,
+                target_line=target_line,
+                codes=codes,
+                justification=justification,
+                malformed=malformed,
+            )
+        )
+    return suppressions

@@ -1,0 +1,97 @@
+"""Core data types for the determinism linter.
+
+A :class:`Rule` is a named, documented check; a :class:`Violation` is one
+concrete hit of a rule at a source location.  Rules yield plain
+``(node, message)`` findings — the engine turns them into violations,
+applies inline suppressions and the baseline, and decides what fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.analysis.context import ModuleContext
+
+__all__ = ["Finding", "Rule", "Violation"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A raw rule hit: an AST node plus a human-readable message."""
+
+    node: ast.AST
+    message: str
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named determinism check.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``REP001`` ...), used in suppressions, the
+        baseline and reports.
+    name:
+        Short slug, e.g. ``wall-clock``.
+    summary:
+        One-line description shown in ``--list-rules`` and reports.
+    check:
+        Generator inspecting a parsed module and yielding findings.
+    layered:
+        Whether the rule respects the layer allowlist: wall-clock reads,
+        global RNG and environment reads are legitimate in the benchmark /
+        CLI layer, so files matching the allowlist skip these rules.
+    """
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[["ModuleContext"], Iterator[Finding]]
+    layered: bool = False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a concrete source location.
+
+    ``suppressed`` marks hits covered by a justified inline
+    ``# repro: allow[...]`` comment; ``baselined`` marks hits matched by a
+    baseline entry.  Only violations with neither flag fail the lint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+    justification: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def is_failure(self) -> bool:
+        """True when this violation should fail the lint run."""
+        return not self.suppressed and not self.baselined
+
+    def location(self) -> str:
+        """``path:line:col`` (1-based column, editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-ready representation used by ``--format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+            "baselined": self.baselined,
+        }

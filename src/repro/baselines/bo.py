@@ -12,7 +12,7 @@ configurations sampled per round).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve

@@ -25,10 +25,9 @@ import heapq
 import itertools
 from dataclasses import dataclass
 
-from repro.cluster.policy_api import AFWQueue, SchedulingContext, SchedulingDecision, SchedulingPolicy
+from repro.cluster.policy_api import AFWQueue, SchedulingDecision, SchedulingPolicy
 from repro.profiles.configuration import Configuration
 from repro.workloads.dag import Workflow
-from repro.workloads.request import Request
 
 __all__ = ["OrionPolicy", "OrionSearchResult"]
 

@@ -24,7 +24,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.utils.rng import derive_rng

@@ -28,7 +28,7 @@ from repro.cluster.events import (
     TaskCompletionEvent,
 )
 from repro.cluster.metrics import MetricsCollector
-from repro.cluster.policy_api import AFWQueue, SchedulingDecision, SchedulingPolicy
+from repro.cluster.policy_api import AFWQueue, SchedulingPolicy
 from repro.cluster.prewarm import PrewarmManager
 from repro.cluster.tasks import Task
 from repro.profiles.configuration import Configuration
@@ -596,6 +596,7 @@ class Controller:
                 # Rotating a list of at most one element is the identity, so
                 # the pivot lookup and bisect split are skipped outright —
                 # the common shape of single-application streaming runs.
+                # repro: allow[REP004] guarded by len(_nonempty) <= 1 above — every ordering of at most one element is equal
                 order = list(self._nonempty)
             else:
                 pivot = keys[self._rr_offset % n]
@@ -670,8 +671,10 @@ class Controller:
             if overhead_ms is None:
                 overhead_ms = 0.0
         else:
+            # repro: allow[REP001] compat fallback for policies that do not model their overhead — the measurement is discarded whenever reported_overhead_ms is set, and all built-in policies set it
             start = _time.perf_counter()
             decision = self.policy.plan(queue, now_ms)
+            # repro: allow[REP001] second half of the fallback measurement above
             measured_ms = (_time.perf_counter() - start) * 1000.0
             if decision is None:
                 return False

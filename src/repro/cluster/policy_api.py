@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import Callable, Sequence
 
 from repro.cluster.cluster import ClusterState
 from repro.cluster.datatransfer import DataTransferModel
@@ -28,9 +28,6 @@ from repro.profiles.pricing import PricingModel
 from repro.profiles.profiler import ProfileStore
 from repro.workloads.dag import Workflow
 from repro.workloads.request import Job, Request
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.cluster.metrics import MetricsCollector
 
 __all__ = [
     "AFWQueue",

@@ -93,9 +93,13 @@ class PrewarmManager:
         """Turn on the fast-mode memos (idempotent; call before the run)."""
         if self._service_ms is None:
             self._service_ms = {}
+            # Sorted so _by_function's key order is a pure function of the
+            # demand keys, never of PYTHONHASHSEED (REP004): today's readers
+            # sort or set-ify it, but a future direct iteration must not
+            # inherit hash order silently.
             self._by_function = {
                 fn: [d for (a, f), d in self._demand.items() if f == fn]
-                for fn in {f for (_, f) in self._demand}
+                for fn in sorted({f for (_, f) in self._demand})
             }
             self._functions_sorted = None
             self._desired_dirty = set(self._by_function)

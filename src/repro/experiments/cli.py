@@ -40,6 +40,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.cli import build_lint_parser, run_lint
 from repro.cluster.churn import churn_spec_names, get_churn_spec
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.metrics import METRICS_MODES, MetricsConfig
@@ -338,9 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(_COMMANDS) + ["all"],
+        choices=sorted(_COMMANDS) + ["all", "lint"],
         help="which artefact to regenerate ('compare' sweeps policies over "
-        "--scenario; 'churn' runs the dynamic-cluster study)",
+        "--scenario; 'churn' runs the dynamic-cluster study; 'lint' runs "
+        "the determinism linter — its own options follow the subcommand, "
+        "see 'esg-repro lint --help')",
     )
     parser.add_argument("--requests", type=int, default=120, help="requests per run (default 120)")
     parser.add_argument("--seed", type=int, default=42, help="experiment seed (default 42)")
@@ -470,8 +473,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The linter has its own option surface (paths, --format, --baseline,
+        # ...), disjoint from the experiment options — give it its own parser.
+        lint_parser = build_lint_parser(
+            argparse.ArgumentParser(
+                prog="esg-repro lint",
+                description="AST-based determinism linter enforcing the "
+                "byte-identity contract (see docs/determinism.md).",
+            )
+        )
+        return run_lint(lint_parser.parse_args(arguments[1:]))
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
+    if args.experiment == "lint":
+        parser.error(
+            "'lint' must be the first argument: esg-repro lint [paths] [options]"
+        )
     if args.list_scenarios:
         print(render_scenario_list())
         return 0

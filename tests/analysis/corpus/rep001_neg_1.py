@@ -1,0 +1,11 @@
+"""REP001 negative: simulated time comes from the event loop, not the host."""
+
+
+def schedule_pass(simulation, queue):
+    now_ms = simulation.now_ms
+    deadline = now_ms + queue.slo_ms
+    return deadline
+
+
+def modeled_overhead(expansions, per_expansion_ms):
+    return expansions * per_expansion_ms

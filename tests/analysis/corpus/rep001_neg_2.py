@@ -1,0 +1,14 @@
+"""REP001 negative: importing time (e.g. for sleep) is not reading the clock."""
+
+import time
+
+
+def backoff(attempt):
+    # Sleeping changes pacing, not results; only clock *reads* are flagged.
+    time.sleep(0.01 * attempt)
+
+
+def record(times_ms, value):
+    # Attribute access named like the module on another object is fine.
+    times_ms.append(value)
+    return times_ms

@@ -1,0 +1,10 @@
+"""REP001 positive: direct wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+
+
+def schedule_pass(queue, now_ms):
+    started = time.time()  # expect[REP001]
+    stamp = datetime.now()  # expect[REP001]
+    return started, stamp, now_ms

@@ -1,0 +1,11 @@
+"""REP001 positive: aliased imports do not hide the wall clock."""
+
+import time as _time
+from time import perf_counter as tick
+
+
+def measure_plan(policy, queue):
+    start = tick()  # expect[REP001]
+    decision = policy.plan(queue)
+    elapsed = (_time.perf_counter() - start) * 1000.0  # expect[REP001]
+    return decision, elapsed

@@ -1,0 +1,14 @@
+"""REP002 negative: in-process protocol uses of hash() are legitimate."""
+
+
+class FrozenKey:
+    def __init__(self, parts):
+        self.parts = tuple(parts)
+
+    def __hash__(self):
+        # Defining __hash__ in terms of hash() is the protocol itself; the
+        # value never leaves the process.
+        return hash(self.parts)
+
+    def __eq__(self, other):
+        return isinstance(other, FrozenKey) and self.parts == other.parts

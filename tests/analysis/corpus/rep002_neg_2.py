@@ -1,0 +1,13 @@
+"""REP002 negative: hash()/id() uses that never reach a key or seed."""
+
+import hashlib
+
+
+def same_object(a, b):
+    # Identity comparison consumes id() immediately — nothing persists.
+    return id(a) == id(b)
+
+
+def stable_key(name: str) -> int:
+    # The blake2s construction is the sanctioned replacement.
+    return int.from_bytes(hashlib.blake2s(name.encode(), digest_size=4).digest(), "little")

@@ -1,0 +1,10 @@
+"""REP002 positive: hash()/id() flowing into cache keys and sort keys."""
+
+
+def remember(cache, spec, value):
+    cache[hash(spec)] = value  # expect[REP002]
+    return cache
+
+
+def stable_order(entries):
+    return sorted(entries, key=lambda entry: hash(entry.name))  # expect[REP002]

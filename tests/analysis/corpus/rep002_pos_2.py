@@ -1,0 +1,12 @@
+"""REP002 positive: hash()/id() flowing into RNG seeds."""
+
+import numpy as np
+
+
+def derive_stream(label):
+    seed = hash(label)  # expect[REP002]
+    return seed
+
+
+def make_rng(consumer):
+    return np.random.default_rng(id(consumer))  # expect[REP002]

@@ -1,0 +1,13 @@
+"""REP003 negative: seeded generators threaded through explicitly."""
+
+import numpy as np
+
+
+def sample_intervals(rng: np.random.Generator, n: int):
+    # Instance methods on a handed-down Generator are the sanctioned path.
+    return rng.exponential(scale=100.0, size=n)
+
+
+def make_stream(seed: int):
+    # Explicitly seeded construction is deterministic.
+    return np.random.default_rng(seed)

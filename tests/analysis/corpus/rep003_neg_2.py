@@ -1,0 +1,16 @@
+"""REP003 negative: names that merely look like the random module."""
+
+
+class _Sampler:
+    def random(self):
+        return 0.5
+
+
+def draw(sampler: _Sampler):
+    # `sampler.random()` is an instance method, not the random module.
+    random = sampler.random()
+    return random
+
+
+def choose(options, rng):
+    return rng.choice(options)

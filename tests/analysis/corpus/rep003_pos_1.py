@@ -1,0 +1,13 @@
+"""REP003 positive: the stdlib global RNG in simulation code."""
+
+import random
+from random import shuffle
+
+
+def jitter(values):
+    shuffle(values)  # expect[REP003]
+    return values
+
+
+def noisy_latency(base_ms):
+    return base_ms * (1.0 + random.gauss(0.0, 0.05))  # expect[REP003]

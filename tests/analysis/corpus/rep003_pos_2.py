@@ -1,0 +1,16 @@
+"""REP003 positive: numpy's legacy global RNG and unseeded constructors."""
+
+import numpy as np
+import numpy.random as npr
+
+
+def sample_intervals(n):
+    return np.random.exponential(scale=100.0, size=n)  # expect[REP003]
+
+
+def reseed_worker():
+    npr.seed(0)  # expect[REP003]
+
+
+def fresh_stream():
+    return np.random.default_rng()  # expect[REP003]

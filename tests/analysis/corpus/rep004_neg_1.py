@@ -1,0 +1,15 @@
+"""REP004 negative: sorted() restores a total order before consumption."""
+
+
+def total_cost(jobs):
+    pending = {job.job_id for job in jobs if not job.done}
+    total = 0.0
+    for job_id in sorted(pending):
+        total += job_id * 0.5
+    return total
+
+
+def flush(event_loop, invoker_ids):
+    stale = set(invoker_ids)
+    for invoker_id in sorted(stale):
+        event_loop.push(invoker_id)

@@ -1,0 +1,18 @@
+"""REP004 negative: order-free set consumption is fine."""
+
+
+def reconcile(tracked, live):
+    # Membership tests and set algebra never observe iteration order.
+    missing = tracked - live
+    if not missing:
+        return tracked & live
+    return missing
+
+
+def prune(candidates, keep):
+    survivors = set()
+    for candidate in candidates:  # candidates is a list — ordered input
+        if candidate in keep:
+            survivors.add(candidate)
+    count = len(survivors)
+    return survivors, count

@@ -1,0 +1,15 @@
+"""REP004 positive: float accumulation and event emission over sets."""
+
+
+def total_cost(jobs):
+    pending = {job for job in jobs if not job.done}
+    total = 0.0
+    for job in pending:  # expect[REP004]
+        total += job.cost_cents
+    return total
+
+
+def flush(event_loop, invokers):
+    stale = set(invokers)
+    for invoker in stale:  # expect[REP004]
+        event_loop.push(invoker.expiry_event())

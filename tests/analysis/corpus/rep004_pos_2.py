@@ -1,0 +1,16 @@
+"""REP004 positive: materializing set order into ordered containers."""
+
+
+class Tracker:
+    def __init__(self):
+        self._dirty: set[str] = set()
+
+    def snapshot(self):
+        return list(self._dirty)  # expect[REP004]
+
+
+def summarize(samples):
+    distinct = frozenset(samples)
+    ordered = [value for value in distinct]  # expect[REP004]
+    grand_total = sum(value for value in distinct)  # expect[REP004]
+    return ordered, grand_total

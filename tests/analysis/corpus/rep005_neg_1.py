@@ -1,0 +1,17 @@
+"""REP005 negative: the sanctioned default patterns."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SweepConfig:
+    label: str = "default"
+    overrides: dict = field(default_factory=dict)
+    seeds: tuple = ()
+
+
+def collect(value, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(value)
+    return seen

@@ -1,0 +1,14 @@
+"""REP005 negative: immutable defaults and non-spec class attributes."""
+
+
+def retry(fn, attempts=3, backoff_ms=(10, 100, 1000)):
+    for delay in backoff_ms[:attempts]:
+        if fn(delay):
+            return True
+    return False
+
+
+class _ScratchBuffer:
+    # Not a dataclass and not a *Spec/*Config class: a deliberate
+    # module-internal shared cache is outside this rule's scope.
+    entries = []

@@ -1,0 +1,11 @@
+"""REP005 positive: mutable default arguments."""
+
+
+def collect(value, seen=[]):  # expect[REP005]
+    seen.append(value)
+    return seen
+
+
+def merge(updates, base={}):  # expect[REP005]
+    base.update(updates)
+    return base

@@ -1,0 +1,16 @@
+"""REP005 positive: mutable defaults on spec/config classes."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SweepConfig:
+    label: str = "default"
+    overrides: dict = {}  # expect[REP005]
+
+
+class RetrySpec:
+    attempts = []  # expect[REP005]
+
+    def register(self, names=set()):  # expect[REP005]
+        self.attempts.extend(names)

@@ -1,0 +1,13 @@
+"""REP006 negative: module-level functions pickle fine in spec fields."""
+
+
+def default_arrival(rng):
+    return rng.exponential(100.0)
+
+
+def build_scenario(apps, horizon_ms):
+    return Scenario(  # noqa: F821 - corpus snippet
+        applications=apps,
+        arrival=default_arrival,
+        horizon_ms=horizon_ms,
+    )

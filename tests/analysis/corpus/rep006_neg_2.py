@@ -1,0 +1,11 @@
+"""REP006 negative: lambdas are fine outside picklable spec boundaries."""
+
+
+def cheapest(candidates):
+    # sorted() runs in-process; a lambda key never crosses a pickle boundary.
+    return sorted(candidates, key=lambda c: (c.cost_cents, c.latency_ms))
+
+
+def bind_logger(registry, name):
+    registry[name] = lambda msg: print(f"[{name}] {msg}")
+    return registry

@@ -1,0 +1,15 @@
+"""REP006 positive: lambdas in picklable spec fields."""
+
+
+def build_specs(policy_names):
+    return [
+        RunSpec(  # noqa: F821 - corpus snippet, name resolution is irrelevant
+            policy=name,
+            on_event=lambda event: event,  # expect[REP006]
+        )
+        for name in policy_names
+    ]
+
+
+def tweak(spec):
+    return replace(spec, selector=lambda inv: inv[0])  # expect[REP006] # noqa: F821

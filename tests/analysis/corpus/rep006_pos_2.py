@@ -1,0 +1,12 @@
+"""REP006 positive: locally-defined closures in spec fields."""
+
+
+def build_scenario(apps, horizon_ms):
+    def pick_arrival(rng):
+        return rng.exponential(100.0)
+
+    return Scenario(  # noqa: F821 - corpus snippet
+        applications=apps,
+        arrival=pick_arrival,  # expect[REP006]
+        horizon_ms=horizon_ms,
+    )

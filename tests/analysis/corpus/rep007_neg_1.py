@@ -1,0 +1,9 @@
+"""REP007 negative: configuration threaded through the spec, not the env."""
+
+
+def worker_count(config):
+    return config.n_jobs
+
+
+def keepalive_ms(config):
+    return config.keep_alive_ms

@@ -1,0 +1,15 @@
+"""REP007 negative: names that merely look like environment access."""
+
+
+class _Context:
+    def __init__(self, environ):
+        self.environ = dict(environ)
+
+    def get(self, key, default=None):
+        # A snapshot dict *named* environ is explicit state, not ambient.
+        return self.environ.get(key, default)
+
+
+def resolve(context: _Context):
+    environ = {"REPRO_JOBS": "4"}
+    return context.get("REPRO_JOBS", environ["REPRO_JOBS"])

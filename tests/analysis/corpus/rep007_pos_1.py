@@ -1,0 +1,11 @@
+"""REP007 positive: environment reads inside simulation code."""
+
+import os
+
+
+def worker_count():
+    return int(os.environ["REPRO_JOBS"])  # expect[REP007]
+
+
+def debug_enabled():
+    return os.environ.get("REPRO_DEBUG", "0") == "1"  # expect[REP007]

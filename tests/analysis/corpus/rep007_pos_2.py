@@ -1,0 +1,13 @@
+"""REP007 positive: os.getenv and aliased environment access."""
+
+import os as _os
+from os import getenv
+
+
+def chunk_size():
+    return int(getenv("REPRO_CHUNK", "256"))  # expect[REP007]
+
+
+def keepalive_ms(config):
+    override = _os.getenv("REPRO_KEEPALIVE_MS")  # expect[REP007]
+    return float(override) if override else config.keep_alive_ms

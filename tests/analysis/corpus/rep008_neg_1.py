@@ -1,0 +1,13 @@
+"""REP008 negative: an explicit total-order key is the sanctioned pattern."""
+
+
+class PathCandidate:
+    def __init__(self, cost_cents, latency_ms):
+        self.cost_cents = cost_cents
+        self.latency_ms = latency_ms
+
+
+def rank(entries):
+    candidates = [PathCandidate(e.cost, e.latency) for e in entries]
+    candidates.sort(key=lambda c: (c.cost_cents, c.latency_ms))
+    return candidates

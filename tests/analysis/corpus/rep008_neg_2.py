@@ -1,0 +1,23 @@
+"""REP008 negative: classes that define a total order sort fine bare."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Ranked:
+    score: float
+    name: str = field(compare=False, default="")
+
+
+class Interval:
+    def __init__(self, start):
+        self.start = start
+
+    def __lt__(self, other):
+        return self.start < other.start
+
+
+def order_all(raw_scores, raw_starts):
+    ranked = [Ranked(s) for s in raw_scores]
+    intervals = [Interval(s) for s in raw_starts]
+    return sorted(ranked), sorted(intervals), sorted(raw_scores)

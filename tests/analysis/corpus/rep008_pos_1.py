@@ -1,0 +1,17 @@
+"""REP008 positive: sorting instances of a class with no total order."""
+
+
+class PathCandidate:
+    def __init__(self, cost_cents, latency_ms):
+        self.cost_cents = cost_cents
+        self.latency_ms = latency_ms
+
+
+def rank(entries):
+    candidates = [PathCandidate(e.cost, e.latency) for e in entries]
+    candidates.sort()  # expect[REP008]
+    return candidates
+
+
+def best_two(a, b):
+    return sorted([PathCandidate(a, 0.0), PathCandidate(b, 0.0)])  # expect[REP008]

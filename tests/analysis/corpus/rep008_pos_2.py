@@ -1,0 +1,20 @@
+"""REP008 positive: dataclasses without order=True are not sortable either."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Placement:
+    invoker_id: int
+    score: float
+
+
+def order_placements(raw):
+    placements = [Placement(i, s) for i, s in raw]
+    return sorted(placements)  # expect[REP008]
+
+
+def merge(left, right):
+    merged = [Placement(i, s) for i, s in left + right]
+    merged.sort()  # expect[REP008]
+    return merged

@@ -1,0 +1,118 @@
+"""Unit tests for the ratcheted baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    match_baseline,
+)
+from repro.analysis.violations import Violation
+
+
+def _violation(
+    rule: str = "REP001",
+    path: str = "pkg/mod.py",
+    line: int = 10,
+    snippet: str = "t = time.time()",
+    suppressed: bool = False,
+) -> Violation:
+    return Violation(
+        rule=rule,
+        path=path,
+        line=line,
+        col=4,
+        message="msg",
+        snippet=snippet,
+        suppressed=suppressed,
+        justification="why" if suppressed else "",
+    )
+
+
+class TestMatching:
+    def test_matched_violation_is_baselined_not_failing(self) -> None:
+        baseline = Baseline(
+            entries=[BaselineEntry("REP001", "pkg/mod.py", "t = time.time()")]
+        )
+        matched, stale = match_baseline([_violation()], baseline)
+        assert matched[0].baselined
+        assert not matched[0].is_failure
+        assert stale == []
+
+    def test_matching_is_by_content_not_line_number(self) -> None:
+        baseline = Baseline(
+            entries=[BaselineEntry("REP001", "pkg/mod.py", "t = time.time()")]
+        )
+        moved = _violation(line=999)
+        matched, stale = match_baseline([moved], baseline)
+        assert matched[0].baselined
+        assert stale == []
+
+    def test_unmatched_violation_stays_a_failure(self) -> None:
+        baseline = Baseline(entries=[])
+        matched, stale = match_baseline([_violation()], baseline)
+        assert not matched[0].baselined
+        assert matched[0].is_failure
+
+    def test_count_budget_is_consumed_per_match(self) -> None:
+        baseline = Baseline(
+            entries=[BaselineEntry("REP001", "pkg/mod.py", "t = time.time()", count=1)]
+        )
+        two = [_violation(line=10), _violation(line=20)]
+        matched, stale = match_baseline(two, baseline)
+        assert sum(violation.baselined for violation in matched) == 1
+        assert sum(violation.is_failure for violation in matched) == 1
+        assert stale == []
+
+    def test_stale_entry_is_reported(self) -> None:
+        baseline = Baseline(
+            entries=[BaselineEntry("REP004", "gone.py", "for x in s:")]
+        )
+        matched, stale = match_baseline([], baseline)
+        assert matched == []
+        assert stale == [BaselineEntry("REP004", "gone.py", "for x in s:", count=1)]
+
+    def test_suppressed_violations_never_consume_budget(self) -> None:
+        baseline = Baseline(
+            entries=[BaselineEntry("REP001", "pkg/mod.py", "t = time.time()")]
+        )
+        suppressed = _violation(suppressed=True)
+        matched, stale = match_baseline([suppressed], baseline)
+        assert not matched[0].baselined
+        # The budget went unconsumed, so the entry is stale: a suppression
+        # and a baseline entry for the same site is double-bookkeeping.
+        assert len(stale) == 1
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path: Path) -> None:
+        baseline = Baseline.from_violations(
+            [_violation(), _violation(line=20), _violation(rule="REP007", snippet="os.getenv('X')")]
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        # count aggregated for the duplicated content key
+        assert {entry.count for entry in loaded.entries} == {1, 2}
+
+    def test_from_violations_skips_suppressed(self) -> None:
+        baseline = Baseline.from_violations([_violation(suppressed=True)])
+        assert baseline.entries == []
+
+    def test_load_rejects_unknown_version(self, tmp_path: Path) -> None:
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported version"):
+            Baseline.load(target)
+
+    def test_checked_in_baseline_shape(self) -> None:
+        repo_baseline = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+        document = json.loads(repo_baseline.read_text())
+        assert document["version"] == 1
+        assert isinstance(document["entries"], list)

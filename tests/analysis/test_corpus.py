@@ -1,0 +1,108 @@
+"""Corpus tests: every rule must catch its positives and pass its negatives.
+
+The corpus lives in ``tests/analysis/corpus/`` as ``repNNN_pos_K.py`` /
+``repNNN_neg_K.py`` snippets.  Positive snippets mark each line where the
+rule must fire with a trailing ``# expect[REPNNN]`` comment; the test
+asserts the rule's findings land on *exactly* those lines.  Negative
+snippets must produce zero findings for their rule.
+
+The coverage gate is parametrized over the registered rule catalog, so
+adding a rule without at least two positive and two negative corpus
+snippets fails the suite — corpus coverage ratchets with the catalog.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.rules import rule_codes
+
+CORPUS = Path(__file__).parent / "corpus"
+
+_EXPECT_RE = re.compile(r"#\s*expect\[(?P<code>REP\d{3})\]")
+
+
+def _corpus_files(code: str, kind: str) -> list[Path]:
+    return sorted(CORPUS.glob(f"{code.lower()}_{kind}_*.py"))
+
+
+def _expected_lines(source: str, code: str) -> set[int]:
+    expected: set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match and match.group("code") == code:
+            expected.add(lineno)
+    return expected
+
+
+def _rule_violation_lines(source: str, path: str, code: str) -> list[int]:
+    violations = analyze_source(source, path=path)
+    return [violation.line for violation in violations if violation.rule == code]
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_corpus_coverage_gate(code: str) -> None:
+    """Each registered rule needs >= 2 positive and >= 2 negative snippets."""
+    positives = _corpus_files(code, "pos")
+    negatives = _corpus_files(code, "neg")
+    assert len(positives) >= 2, (
+        f"{code} has {len(positives)} positive corpus snippet(s); add "
+        f"{code.lower()}_pos_*.py files under {CORPUS}"
+    )
+    assert len(negatives) >= 2, (
+        f"{code} has {len(negatives)} negative corpus snippet(s); add "
+        f"{code.lower()}_neg_*.py files under {CORPUS}"
+    )
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_positives_fire_on_marked_lines(code: str) -> None:
+    """Positive snippets: the rule fires exactly on the expect-marked lines."""
+    for path in _corpus_files(code, "pos"):
+        source = path.read_text()
+        expected = _expected_lines(source, code)
+        assert expected, f"{path.name} has no '# expect[{code}]' markers"
+        actual = _rule_violation_lines(source, path.name, code)
+        assert set(actual) == expected, (
+            f"{path.name}: {code} fired on lines {sorted(set(actual))}, "
+            f"expected exactly {sorted(expected)}"
+        )
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_negatives_stay_clean(code: str) -> None:
+    """Negative snippets: zero findings for their rule."""
+    for path in _corpus_files(code, "neg"):
+        source = path.read_text()
+        actual = _rule_violation_lines(source, path.name, code)
+        assert not actual, (
+            f"{path.name}: {code} unexpectedly fired on lines {actual}"
+        )
+
+
+def test_no_orphan_corpus_files() -> None:
+    """Every corpus file belongs to a registered rule and a known kind."""
+    known = set(rule_codes())
+    name_re = re.compile(r"^(?P<code>rep\d{3})_(?P<kind>pos|neg)_\d+\.py$")
+    for path in sorted(CORPUS.glob("*.py")):
+        match = name_re.match(path.name)
+        assert match, f"corpus file {path.name} does not match repNNN_(pos|neg)_K.py"
+        assert match.group("code").upper() in known, (
+            f"corpus file {path.name} names unregistered rule "
+            f"{match.group('code').upper()}"
+        )
+
+
+def test_expect_markers_name_their_own_rule() -> None:
+    """An expect marker inside repNNN_pos must name REPNNN (typo guard)."""
+    for path in sorted(CORPUS.glob("*_pos_*.py")):
+        own_code = path.name.split("_")[0].upper()
+        for match in _EXPECT_RE.finditer(path.read_text()):
+            assert match.group("code") == own_code, (
+                f"{path.name} carries an expect marker for "
+                f"{match.group('code')}, not {own_code}"
+            )

@@ -1,0 +1,97 @@
+"""CLI tests: ``python -m repro.analysis`` and the ``esg-repro lint`` route."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.experiments.cli import main as esg_main
+
+CLEAN = "x = 1\n"
+DIRTY = "import time\n\nt = time.perf_counter()\n"
+
+
+def _tree(tmp_path: Path, source: str) -> Path:
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "mod.py").write_text(source)
+    return root
+
+
+class TestStandaloneCli:
+    def test_clean_tree_exits_zero(self, tmp_path: Path, capsys) -> None:
+        assert lint_main([str(_tree(tmp_path, CLEAN))]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_dirty_tree_exits_one(self, tmp_path: Path, capsys) -> None:
+        assert lint_main([str(_tree(tmp_path, DIRTY))]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys) -> None:
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_select_exits_two(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, CLEAN)
+        assert lint_main([str(root), "--select", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path: Path) -> None:
+        root = _tree(tmp_path, DIRTY)
+        assert lint_main([str(root), "--select", "REP007"]) == 0
+        assert lint_main([str(root), "--select", "REP001"]) == 1
+
+    def test_list_rules(self, capsys) -> None:
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP008" in out
+
+    def test_json_format(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, DIRTY)
+        assert lint_main([str(root), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["counts"]["failures"] == 1
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_baseline(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(root), "--write-baseline", str(baseline)]) == 0
+        assert "grandfathering 1 violation(s)" in capsys.readouterr().out
+        # Grandfathered: the same tree now passes under the baseline.
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 0
+
+    def test_ratchet_fails_on_stale_entry(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(root), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        (root / "mod.py").write_text(CLEAN)  # pay off the debt
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, CLEAN)
+        assert lint_main([str(root), "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestEsgReproRoute:
+    def test_lint_subcommand_reaches_linter(self, tmp_path: Path, capsys) -> None:
+        root = _tree(tmp_path, DIRTY)
+        assert esg_main(["lint", str(root)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_lint_subcommand_clean_exit(self, tmp_path: Path) -> None:
+        assert esg_main(["lint", str(_tree(tmp_path, CLEAN))]) == 0
+
+    def test_lint_must_be_first_argument(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            esg_main(["--seed", "1", "lint"])
+        assert excinfo.value.code == 2
+        assert "must be the first argument" in capsys.readouterr().err

@@ -1,0 +1,120 @@
+"""Unit tests for the analysis engine: layering, selection, reports."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    DEFAULT_LAYER_ALLOWLIST,
+    REPORT_SCHEMA_VERSION,
+    LintConfig,
+    analyze_path,
+    analyze_paths,
+    analyze_source,
+    format_json,
+    format_text,
+)
+from repro.analysis.rules import RULES, rule_codes
+
+WALL_CLOCK = "import time\n\nt = time.perf_counter()\n"
+
+
+class TestLayering:
+    def test_layered_rule_skipped_in_allowlisted_layer(self) -> None:
+        assert analyze_source(WALL_CLOCK, path="experiments/cli.py") == []
+        assert analyze_source(WALL_CLOCK, path="benchmarks/bench_x.py") == []
+
+    def test_layered_rule_fires_in_simulation_code(self) -> None:
+        violations = analyze_source(WALL_CLOCK, path="cluster/controller.py")
+        assert [violation.rule for violation in violations] == ["REP001"]
+
+    def test_custom_allowlist(self) -> None:
+        config = LintConfig(layer_allowlist=("special/*",))
+        assert analyze_source(WALL_CLOCK, path="special/mod.py", config=config) == []
+        assert analyze_source(WALL_CLOCK, path="experiments/cli.py", config=config)
+
+    def test_default_allowlist_covers_cli_and_benchmarks(self) -> None:
+        config = LintConfig()
+        assert config.is_allowlisted("repro/experiments/cli.py")
+        assert config.is_allowlisted("benchmarks/bench_sweep.py")
+        assert config.is_allowlisted("conftest.py")
+        assert not config.is_allowlisted("repro/cluster/controller.py")
+        assert DEFAULT_LAYER_ALLOWLIST  # the default is non-empty by contract
+
+
+class TestSelection:
+    def test_select_restricts_rules(self) -> None:
+        config = LintConfig(select=("REP007",))
+        violations = analyze_source(WALL_CLOCK, path="pkg/mod.py", config=config)
+        assert violations == []
+
+    def test_unknown_select_raises(self) -> None:
+        with pytest.raises(ValueError, match="REP999"):
+            LintConfig(select=("REP999",)).active_rules()
+
+    def test_rule_catalog_is_stable(self) -> None:
+        codes = rule_codes()
+        assert codes == tuple(sorted(codes))
+        assert len(codes) == len(set(codes))
+        assert codes == tuple(rule.code for rule in RULES)
+        assert len(codes) >= 8  # the determinism catalog: REP001..REP008
+
+
+class TestFileDiscovery:
+    def test_paths_are_root_relative_posix(self, tmp_path: Path) -> None:
+        package = tmp_path / "pkg" / "sub"
+        package.mkdir(parents=True)
+        (package / "mod.py").write_text(WALL_CLOCK)
+        report = analyze_path(tmp_path / "pkg")
+        assert report.files_analyzed == 1
+        assert report.violations[0].path == "sub/mod.py"
+
+    def test_single_file_root(self, tmp_path: Path) -> None:
+        target = tmp_path / "mod.py"
+        target.write_text(WALL_CLOCK)
+        report = analyze_path(target)
+        assert report.files_analyzed == 1
+        assert report.violations[0].path == "mod.py"
+
+    def test_multiple_roots_aggregate(self, tmp_path: Path) -> None:
+        for name in ("a", "b"):
+            (tmp_path / name).mkdir()
+            (tmp_path / name / "mod.py").write_text(WALL_CLOCK)
+        report = analyze_paths([tmp_path / "a", tmp_path / "b"])
+        assert report.files_analyzed == 2
+        assert len(report.failures) == 2
+
+
+class TestReports:
+    def _report(self, tmp_path: Path):
+        (tmp_path / "mod.py").write_text(WALL_CLOCK)
+        return analyze_path(tmp_path)
+
+    def test_exit_code_tracks_ok(self, tmp_path: Path) -> None:
+        report = self._report(tmp_path)
+        assert not report.ok
+        assert report.exit_code == 1
+        clean = analyze_source("x = 1\n", path="pkg/mod.py")
+        assert clean == []
+
+    def test_text_format_has_location_and_summary(self, tmp_path: Path) -> None:
+        text = format_text(self._report(tmp_path))
+        assert "mod.py:3" in text
+        assert "REP001" in text
+        assert "1 failure(s)" in text
+
+    def test_json_format_schema(self, tmp_path: Path) -> None:
+        document = json.loads(format_json(self._report(tmp_path)))
+        assert document["version"] == REPORT_SCHEMA_VERSION
+        assert document["ok"] is False
+        assert document["counts"]["failures"] == 1
+        assert document["counts"]["total"] == 1
+        (violation,) = document["violations"]
+        assert violation["rule"] == "REP001"
+        assert violation["path"] == "mod.py"
+        assert set(document["rules"]) == set(rule_codes())
+        for metadata in document["rules"].values():
+            assert set(metadata) == {"name", "summary", "layered"}

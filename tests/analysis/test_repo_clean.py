@@ -1,0 +1,42 @@
+"""Tier-1 gate: ``src/repro`` honors the byte-identity contract.
+
+This is the enforcement point of the determinism linter: every rule runs
+over the whole package, and anything that is neither justified inline
+(``# repro: allow[CODE] why``) nor grandfathered in ``lint-baseline.json``
+fails the suite.  Stale baseline entries fail too — the ratchet only
+tightens.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze_path, format_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+
+
+def test_package_sources_exist() -> None:
+    assert PACKAGE_ROOT.is_dir(), f"expected package sources at {PACKAGE_ROOT}"
+    assert BASELINE_PATH.is_file(), f"expected checked-in baseline at {BASELINE_PATH}"
+
+
+def test_repo_has_no_unjustified_violations() -> None:
+    baseline = Baseline.load(BASELINE_PATH)
+    report = analyze_path(PACKAGE_ROOT, baseline=baseline)
+    assert report.files_analyzed > 0
+    assert report.ok, "determinism lint failed:\n" + format_text(report)
+
+
+def test_every_suppression_carries_a_justification() -> None:
+    """Redundant with REP000 in principle; kept as a direct, readable gate."""
+    baseline = Baseline.load(BASELINE_PATH)
+    report = analyze_path(PACKAGE_ROOT, baseline=baseline)
+    for violation in report.suppressed:
+        assert violation.justification, (
+            f"{violation.location()}: suppressed {violation.rule} "
+            "without a justification"
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for suppression-comment parsing."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.rules import META_RULE_CODE
+from repro.analysis.suppressions import parse_suppressions
+
+
+def _parse(source: str):
+    return parse_suppressions(textwrap.dedent(source).splitlines())
+
+
+class TestParsing:
+    def test_trailing_suppression_targets_its_own_line(self) -> None:
+        (sup,) = _parse(
+            """\
+            import time
+
+            t = time.time()  # repro: allow[REP001] CLI-layer timing
+            """
+        )
+        assert sup.line == 3
+        assert sup.target_line == 3
+        assert sup.codes == ("REP001",)
+        assert sup.justification == "CLI-layer timing"
+        assert not sup.malformed
+
+    def test_standalone_suppression_targets_next_code_line(self) -> None:
+        (sup,) = _parse(
+            """\
+            # repro: allow[REP004] ordering proven irrelevant here
+
+            # another unrelated comment
+            total = sum(values)
+            """
+        )
+        assert sup.line == 1
+        assert sup.target_line == 4
+        assert sup.covers("REP004", 4)
+        assert not sup.covers("REP004", 1)
+        assert not sup.covers("REP001", 4)
+
+    def test_multiple_codes_in_one_marker(self) -> None:
+        (sup,) = _parse(
+            """\
+            x = 1  # repro: allow[REP001, REP007] benchmark shim reads both
+            """
+        )
+        assert sup.codes == ("REP001", "REP007")
+        assert sup.covers("REP001", 1)
+        assert sup.covers("REP007", 1)
+
+
+class TestMalformed:
+    def test_missing_justification_is_malformed(self) -> None:
+        (sup,) = _parse("x = 1  # repro: allow[REP001]")
+        assert sup.malformed
+        assert "justification" in sup.malformed
+        assert not sup.covers("REP001", 1)
+
+    def test_empty_code_list_is_malformed(self) -> None:
+        (sup,) = _parse("x = 1  # repro: allow[] because reasons")
+        assert sup.malformed
+
+    def test_unknown_code_shape_is_malformed(self) -> None:
+        (sup,) = _parse("x = 1  # repro: allow[REP1] because reasons")
+        assert "REP1" in sup.malformed
+
+
+class TestTokenizeImmunity:
+    def test_marker_inside_docstring_is_not_a_suppression(self) -> None:
+        found = _parse(
+            '''\
+            def f():
+                """Docs show the marker: # repro: allow[REP001] example."""
+                return 1
+            '''
+        )
+        assert found == []
+
+    def test_marker_inside_string_literal_is_not_a_suppression(self) -> None:
+        found = _parse(
+            """\
+            MARKER = "# repro: allow[REP001] not a real comment"
+            """
+        )
+        assert found == []
+
+    def test_untokenizable_source_falls_back_to_line_scan(self) -> None:
+        # Unterminated string: tokenize raises, the line scan still finds
+        # the comment so broken files keep their suppressions.
+        found = _parse(
+            """\
+            x = 1  # repro: allow[REP001] still parsed
+            y = "unterminated
+            """
+        )
+        assert len(found) == 1
+        assert found[0].codes == ("REP001",)
+
+
+class TestMetaDiagnostics:
+    def test_malformed_suppression_is_a_rep000_failure(self) -> None:
+        source = "import time\nt = time.time()  # repro: allow[REP001]\n"
+        violations = analyze_source(source, path="pkg/mod.py")
+        codes = {violation.rule for violation in violations}
+        assert META_RULE_CODE in codes
+        # The malformed marker silences nothing: REP001 still fails.
+        rep001 = [v for v in violations if v.rule == "REP001"]
+        assert rep001 and not rep001[0].suppressed
+
+    def test_unused_suppression_is_a_rep000_failure(self) -> None:
+        source = "x = 1  # repro: allow[REP001] nothing here needs this\n"
+        violations = analyze_source(source, path="pkg/mod.py")
+        assert [v.rule for v in violations] == [META_RULE_CODE]
+        assert "unused" in violations[0].message
+
+    def test_used_suppression_emits_no_rep000(self) -> None:
+        source = "import time\nt = time.time()  # repro: allow[REP001] CLI shim\n"
+        violations = analyze_source(source, path="pkg/mod.py")
+        assert [v.rule for v in violations] == ["REP001"]
+        assert violations[0].suppressed
+        assert violations[0].justification == "CLI shim"
+        assert not violations[0].is_failure

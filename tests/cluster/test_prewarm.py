@@ -93,3 +93,51 @@ class TestPlanning:
             PrewarmManager(profile_store=small_store, safety_factor=0.0)
         with pytest.raises(ValueError):
             PrewarmManager(profile_store=small_store, max_warm_per_function=0)
+
+
+class TestProfileCacheDeterminism:
+    """Regression pins for the REP004 fix in ``enable_profile_cache``.
+
+    ``_by_function`` used to be built by iterating a set comprehension over
+    the demand keys, inheriting PYTHONHASHSEED-dependent order.  Nothing
+    downstream consumes that order *today*, but the byte-identity contract
+    requires every internal collection a future reader might iterate to be
+    deterministically ordered; these tests pin the sorted construction.
+    """
+
+    def _seed_arrivals(self, manager, names):
+        for name in names:
+            manager.observe_arrival("app", name, 0.0)
+            manager.observe_arrival("app", name, 25.0)
+            manager.observe_arrival("other_app", name, 10.0)
+
+    def test_by_function_keys_are_sorted(self, manager):
+        self._seed_arrivals(manager, ["deblur", "auth", "background_removal"])
+        manager.enable_profile_cache()
+        keys = list(manager._by_function)
+        assert keys == sorted(keys)
+
+    def test_by_function_order_independent_of_insertion_order(self, small_store):
+        names = ["deblur", "auth", "background_removal", "resize"]
+        forward = PrewarmManager(profile_store=small_store)
+        backward = PrewarmManager(profile_store=small_store)
+        self._seed_arrivals(forward, names)
+        self._seed_arrivals(backward, list(reversed(names)))
+        forward.enable_profile_cache()
+        backward.enable_profile_cache()
+        assert list(forward._by_function) == list(backward._by_function)
+        for fn in forward._by_function:
+            assert len(forward._by_function[fn]) == len(backward._by_function[fn])
+
+    def test_cache_preserves_desired_instance_parity(self, small_store):
+        """Fast-mode memos must not change the planner's answers."""
+        names = ["deblur", "classification"]
+        compat = PrewarmManager(profile_store=small_store)
+        fast = PrewarmManager(profile_store=small_store)
+        for m in (compat, fast):
+            for i in range(6):
+                for name in names:
+                    m.observe_arrival("app", name, i * 40.0)
+        fast.enable_profile_cache()
+        for name in names:
+            assert fast.desired_warm_instances(name) == compat.desired_warm_instances(name)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster.controller import ControllerConfig
 from repro.core.esg import ESGPolicy
 from repro.experiments.runner import ExperimentConfig, run_experiment

@@ -20,7 +20,6 @@ from repro.workloads.arrival import (
     iter_trace_intervals,
 )
 from repro.workloads.generator import MODERATE_NORMAL, RELAXED_HEAVY, WorkloadGenerator
-from repro.workloads.stream import CountRequestStream, DurationRequestStream
 from repro.workloads.traces import NORMAL_INTERVALS
 
 
