@@ -15,6 +15,21 @@ profiles; this subpackage is that emulation framework.  It models:
   pre-planned configuration miss rate).
 """
 
+from repro.cluster.autoscale import (
+    AUTOSCALE_SPECS,
+    AutoscaleAction,
+    AutoscalePolicy,
+    AutoscaleSpec,
+    AutoscaleState,
+    Autoscaler,
+    LearnedAgent,
+    PIDController,
+    ThresholdController,
+    autoscale_spec_names,
+    get_autoscale_spec,
+    register_autoscale_spec,
+    resolve_autoscale,
+)
 from repro.cluster.churn import (
     CHURN_SPECS,
     ChurnAction,
@@ -72,6 +87,19 @@ __all__ = [
     "get_topology",
     "topology_names",
     "parse_topology",
+    "AutoscaleAction",
+    "AutoscalePolicy",
+    "AutoscaleSpec",
+    "AutoscaleState",
+    "Autoscaler",
+    "AUTOSCALE_SPECS",
+    "register_autoscale_spec",
+    "get_autoscale_spec",
+    "autoscale_spec_names",
+    "resolve_autoscale",
+    "LearnedAgent",
+    "PIDController",
+    "ThresholdController",
     "ChurnAction",
     "ChurnSchedule",
     "ChurnSpec",

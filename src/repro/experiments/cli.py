@@ -41,12 +41,19 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.analysis.cli import build_lint_parser, run_lint
+from repro.cluster.autoscale import autoscale_spec_names, get_autoscale_spec
 from repro.cluster.churn import churn_spec_names, get_churn_spec
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.metrics import METRICS_MODES, MetricsConfig
 from repro.cluster.topology import parse_topology, topology_names
 from repro.experiments.ablation import render_figure12, run_figure12
 from repro.experiments.arrivals import render_figure5, run_figure5
+from repro.experiments.autoscale_study import (
+    autoscale_rows,
+    dominating_modes,
+    render_autoscale_study,
+    run_autoscale_study,
+)
 from repro.experiments.churn_study import render_churn_study, churn_rows, run_churn_study
 from repro.experiments.end_to_end import (
     figure6_rows,
@@ -113,6 +120,14 @@ def _churn_spec(value: str):
         raise argparse.ArgumentTypeError(str(exc).strip("'\"")) from None
 
 
+def _autoscale_spec(value: str):
+    """argparse type wrapper surfacing get_autoscale_spec's informative errors."""
+    try:
+        return get_autoscale_spec(value)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(str(exc).strip("'\"")) from None
+
+
 def _cluster_from_args(args: argparse.Namespace) -> ClusterConfig:
     """Resolve the ``--topology`` / ``--num-invokers`` cluster overrides."""
     cluster = (
@@ -136,6 +151,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workload_mode=args.workload_mode,
         loop_mode=args.loop_mode,
         churn=args.churn,
+        autoscale=args.autoscale,
     )
 
 
@@ -235,6 +251,17 @@ def _cmd_churn(args: argparse.Namespace) -> str:
     return render_churn_study(churn_rows(results))
 
 
+def _cmd_autoscale(args: argparse.Namespace) -> str:
+    kwargs = {"config": _config_from_args(args), "n_jobs": _jobs(args), "store": args.store}
+    if args.scenario:
+        results = run_autoscale_study(args.scenario, **kwargs)
+    else:
+        results = run_autoscale_study(**kwargs)
+    return render_autoscale_study(
+        autoscale_rows(results), dominance=dominating_modes(results)
+    )
+
+
 def _parse_csv_list(value: str, what: str) -> list[str]:
     items = [item.strip() for item in value.split(",") if item.strip()]
     if not items:
@@ -319,14 +346,16 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig12": _cmd_fig12,
     "compare": _cmd_compare,
     "churn": _cmd_churn,
+    "autoscale": _cmd_autoscale,
     "sweep": _cmd_sweep,
 }
 
 #: Commands excluded from ``esg-repro all`` (they need explicit scenario
-#: intent, and ``all`` predates the scenario subsystem; ``churn`` likewise
-#: post-dates it, and keeping it out preserves ``all``'s historical output;
-#: ``sweep`` writes report files and a store, which ``all`` must not).
-_NOT_IN_ALL = frozenset({"compare", "churn", "sweep"})
+#: intent, and ``all`` predates the scenario subsystem; ``churn`` and
+#: ``autoscale`` likewise post-date it, and keeping them out preserves
+#: ``all``'s historical output; ``sweep`` writes report files and a store,
+#: which ``all`` must not).
+_NOT_IN_ALL = frozenset({"compare", "churn", "autoscale", "sweep"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,7 +370,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         choices=sorted(_COMMANDS) + ["all", "lint"],
         help="which artefact to regenerate ('compare' sweeps policies over "
-        "--scenario; 'churn' runs the dynamic-cluster study; 'lint' runs "
+        "--scenario; 'churn' runs the dynamic-cluster study; 'autoscale' "
+        "compares static vs feedback prewarm regimes; 'lint' runs "
         "the determinism linter — its own options follow the subcommand, "
         "see 'esg-repro lint --help')",
     )
@@ -382,6 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
         f"churn spec ({', '.join(churn_spec_names())}); expanded to a "
         "seed-derived join/leave/resize timeline per run (a scenario's own "
         "churn applies only when this is left unset)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        type=_autoscale_spec,
+        metavar="NAME",
+        help="adaptive feedback prewarm applied to every run: a registered "
+        f"autoscale spec ({', '.join(autoscale_spec_names())}); replaces the "
+        "static EWMA prewarmer with the named controller (a scenario's own "
+        "autoscale applies only when this is left unset)",
     )
     parser.add_argument(
         "--metrics-mode",

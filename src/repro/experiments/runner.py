@@ -19,6 +19,7 @@ from repro.baselines.aquatope import AquatopePolicy
 from repro.baselines.fastgshare import FaSTGSharePolicy
 from repro.baselines.infless import INFlessPolicy
 from repro.baselines.orion import OrionPolicy
+from repro.cluster.autoscale import Autoscaler, AutoscaleSpec, resolve_autoscale
 from repro.cluster.churn import ChurnSchedule, ChurnSpec, resolve_churn
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.controller import ControllerConfig
@@ -113,6 +114,13 @@ class ExperimentConfig:
     #: (default) defers to the scenario's ``churn``, if any; a static
     #: cluster otherwise.
     churn: "ChurnSpec | ChurnSchedule | str | None" = None
+    #: Adaptive prewarm: a registered
+    #: :class:`~repro.cluster.autoscale.AutoscaleSpec` name or a spec.
+    #: ``None`` (default) defers to the scenario's ``autoscale``, if any;
+    #: the static EWMA prewarmer otherwise.  When set, an
+    #: :class:`~repro.cluster.autoscale.Autoscaler` attaches to the run as
+    #: an observer and the static prewarmer stops emitting plans.
+    autoscale: "AutoscaleSpec | str | None" = None
 
     def __post_init__(self) -> None:
         if self.workload_mode not in WORKLOAD_MODES:
@@ -322,6 +330,10 @@ def run_experiment(
     # the *resolved* cluster config (a scenario-pinned topology changes the
     # invoker count the schedule draws targets from).
     churn_schedule = resolve_churn(churn, config.seed, cluster_config)
+    autoscale = config.autoscale
+    if autoscale is None and scenario is not None:
+        autoscale = scenario.autoscale
+    autoscale_spec = resolve_autoscale(autoscale)
     streaming = config.workload_mode == "streaming" and requests is None
     workload: Sequence[Request] | RequestStream
     if requests is None:
@@ -372,6 +384,11 @@ def run_experiment(
         ),
         setting_name=setting.name,
     )
+    if autoscale_spec is not None:
+        # Attached between construction and run: the autoscaler is a pure
+        # observer (event hooks + the prewarm plan mechanism), so the
+        # simulation wiring above is identical with and without it.
+        Autoscaler(spec=autoscale_spec).attach(simulation)
     summary = simulation.run()
     return RunResult(
         policy_name=policy.name,

@@ -16,8 +16,8 @@ spec's code-relevant fields:
   application mix, stream label, pinned topology, churn recipe, horizon),
 * every :class:`~repro.experiments.runner.ExperimentConfig` knob that can
   change the simulated outcome — seed, request count, noise, configuration
-  space, cluster shape, controller, burstiness, horizon, churn, and the
-  loop/index/metrics/workload modes,
+  space, cluster shape, controller, burstiness, horizon, churn, autoscale,
+  and the loop/index/metrics/workload modes,
 * the store schema version (bumping it invalidates every older entry).
 
 Presentation-only fields are explicitly **excluded**: a spec's ``label``,
@@ -76,7 +76,8 @@ __all__ = [
 
 #: Bump to invalidate every previously stored entry (e.g. when a simulator
 #: change legitimately alters summaries without touching any spec field).
-STORE_SCHEMA_VERSION = 1
+#: v2: the key document gained the ``autoscale`` config field.
+STORE_SCHEMA_VERSION = 2
 
 #: The payload kind the store holds today: a bare :class:`RunSummary`.
 SUMMARY_KIND = "summary"
@@ -172,6 +173,7 @@ def spec_key_doc(spec: "RunSpec") -> dict[str, object]:
     the simulation computes — a full-result run and a summary-only run of
     the same cell must share a key so one can warm the cache for the other.
     """
+    from repro.cluster.autoscale import get_autoscale_spec
     from repro.cluster.churn import get_churn_spec
 
     config = spec.config
@@ -179,6 +181,10 @@ def spec_key_doc(spec: "RunSpec") -> dict[str, object]:
     if isinstance(churn, str):
         # A name and its resolved spec describe the same churn stream.
         churn = get_churn_spec(churn)
+    autoscale = config.autoscale
+    if isinstance(autoscale, str):
+        # A name and its resolved spec describe the same controller.
+        autoscale = get_autoscale_spec(autoscale)
     workload: dict[str, object]
     if spec.scenario is not None:
         workload = {"scenario": _canonical(spec.scenario)}
@@ -207,6 +213,7 @@ def spec_key_doc(spec: "RunSpec") -> dict[str, object]:
             "workload_mode": config.workload_mode,
             "loop_mode": config.loop_mode,
             "churn": _canonical(churn),
+            "autoscale": _canonical(autoscale),
         },
     }
 

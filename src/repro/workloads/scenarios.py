@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.cluster.autoscale import AutoscaleSpec
     from repro.cluster.churn import ChurnSchedule, ChurnSpec
     from repro.cluster.topology import ClusterTopology
 
@@ -117,6 +118,12 @@ class Scenario:
         config does not set its own churn; specs are expanded to schedules
         with the run's seed, so the churn stream is deterministic per
         ``(scenario, seed)`` just like the request stream.
+    autoscale:
+        Optional adaptive-prewarm recipe — a registered
+        :class:`~repro.cluster.autoscale.AutoscaleSpec` name or a spec.
+        Applied by :func:`~repro.experiments.runner.run_experiment` when the
+        experiment config does not set its own autoscale; controllers are
+        deterministic (no RNG), so the spec alone fixes every decision.
     """
 
     name: str
@@ -130,10 +137,18 @@ class Scenario:
     stream: str | None = None
     topology: "ClusterTopology | str | None" = None
     churn: "ChurnSpec | ChurnSchedule | str | None" = None
+    autoscale: "AutoscaleSpec | str | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
+        if isinstance(self.autoscale, str):
+            # Same eager-resolution rationale as ``churn``/``topology``: a
+            # typo fails at construction, and the picklable spec travels
+            # with the scenario to worker processes.
+            from repro.cluster.autoscale import get_autoscale_spec
+
+            object.__setattr__(self, "autoscale", get_autoscale_spec(self.autoscale))
         if isinstance(self.churn, str):
             # Same eager-resolution rationale as ``topology`` below: a typo
             # fails at construction, and the picklable spec travels with the

@@ -95,6 +95,30 @@ class TestPlanning:
             PrewarmManager(profile_store=small_store, max_warm_per_function=0)
 
 
+class TestPickInvoker:
+    """Placement walk of :meth:`PrewarmManager._pick_invoker` — shared by the
+    static prewarmer and the autoscaler's scale-up actuation."""
+
+    def test_prefers_fewest_containers_then_most_free_vgpus(self, cluster):
+        cluster.invoker(0).create_warm_container("deblur", 0.0)
+        picked = PrewarmManager._pick_invoker(cluster, "deblur", 10.0)
+        # Invoker 0 already hosts the function; an empty peer wins.
+        assert picked != 0
+        assert cluster.invoker(picked).container_count("deblur") == 0
+
+    def test_skips_inactive_tombstones(self, cluster):
+        # Tombstone every invoker but 2: the walk must land there even
+        # though lower ids would otherwise win the tie on emptiness.
+        for invoker_id in (0, 1, 3):
+            cluster.apply_leave(invoker_id)
+        assert PrewarmManager._pick_invoker(cluster, "deblur", 10.0) == 2
+
+    def test_all_inactive_yields_none(self, cluster):
+        for invoker_id in range(4):
+            cluster.apply_leave(invoker_id)
+        assert PrewarmManager._pick_invoker(cluster, "deblur", 10.0) is None
+
+
 class TestProfileCacheDeterminism:
     """Regression pins for the REP004 fix in ``enable_profile_cache``.
 

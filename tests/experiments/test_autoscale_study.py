@@ -1,0 +1,130 @@
+"""Autoscale study: completeness, rendering, and the acceptance bar.
+
+``test_adaptive_strictly_dominates_static`` is the PR's acceptance test:
+on the study workloads at the default seed, at least one feedback
+controller strictly dominates the static EWMA prewarmer (better on one of
+cost / SLO attainment, at least equal on the other) on a diurnal or
+on/off-burst scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import RunSummary
+from repro.experiments.autoscale_study import (
+    AUTOSCALE_STUDY_MODES,
+    AUTOSCALE_STUDY_SCENARIOS,
+    AutoscaleCell,
+    autoscale_rows,
+    autoscale_study_config,
+    dominating_modes,
+    render_autoscale_study,
+    run_autoscale_study,
+    strictly_dominates,
+)
+from repro.experiments.runner import ExperimentConfig
+
+STUDY_SCENARIOS = ("diurnal-normal", "bursty-onoff-heavy")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_autoscale_study(
+        STUDY_SCENARIOS, config=ExperimentConfig(num_requests=30, seed=42)
+    )
+
+
+def _summary(**overrides) -> RunSummary:
+    defaults = dict(slo_hit_rate=0.5, total_cost_cents=10.0)
+    defaults.update(overrides)
+    fields = {f.name: 0 for f in RunSummary.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    fields.update(defaults)
+    return RunSummary(**fields)
+
+
+class TestStrictDominance:
+    def test_cheaper_at_equal_slo_dominates(self):
+        assert strictly_dominates(_summary(total_cost_cents=9.0), _summary())
+
+    def test_better_slo_at_equal_cost_dominates(self):
+        assert strictly_dominates(_summary(slo_hit_rate=0.6), _summary())
+
+    def test_equal_on_both_axes_does_not_dominate(self):
+        assert not strictly_dominates(_summary(), _summary())
+
+    def test_tradeoff_does_not_dominate(self):
+        better_slo_worse_cost = _summary(slo_hit_rate=0.6, total_cost_cents=11.0)
+        assert not strictly_dominates(better_slo_worse_cost, _summary())
+        cheaper_worse_slo = _summary(slo_hit_rate=0.4, total_cost_cents=9.0)
+        assert not strictly_dominates(cheaper_worse_slo, _summary())
+
+
+class TestStudyGrid:
+    def test_every_cell_present(self, results):
+        modes = [mode for mode, _ in AUTOSCALE_STUDY_MODES]
+        assert set(results) == {
+            (scenario, mode) for scenario in STUDY_SCENARIOS for mode in modes
+        }
+
+    def test_config_pins_cold_capable_start(self):
+        config = autoscale_study_config()
+        assert config.controller.initial_warm == "home"
+        # Every other knob carries over from the caller's config.
+        tweaked = autoscale_study_config(ExperimentConfig(num_requests=7))
+        assert tweaked.num_requests == 7
+        assert tweaked.controller.initial_warm == "home"
+
+    def test_rows_flatten_in_input_order(self, results):
+        rows = autoscale_rows(results)
+        assert [(r.scenario, r.mode) for r in rows] == list(results)
+        for row in rows:
+            assert isinstance(row, AutoscaleCell)
+            assert 0.0 <= row.slo_hit_rate <= 1.0
+            assert row.total_cost_cents >= 0.0
+            assert row.num_completed > 0
+
+    def test_identical_workload_within_a_row(self, results):
+        """Modes within a scenario row are comparable: same request count."""
+        for scenario in STUDY_SCENARIOS:
+            counts = {
+                results[(scenario, mode)].summary.num_requests
+                for mode, _ in AUTOSCALE_STUDY_MODES
+            }
+            assert len(counts) == 1
+
+
+class TestAcceptance:
+    def test_adaptive_strictly_dominates_static(self, results):
+        """The PR's acceptance bar: a feedback controller strictly dominates
+        static prewarm on at least one diurnal or on/off-burst scenario."""
+        dominance = dominating_modes(results)
+        assert any(
+            dominance.get(scenario)
+            for scenario in ("diurnal-normal", "bursty-onoff-heavy")
+        ), f"no adaptive mode dominates the static row anywhere: {dominance}"
+
+    def test_default_grid_names_resolve(self):
+        # The full default grid (including the churn row) must at least
+        # name-resolve; the heavyweight run is exercised by the CLI.
+        from repro.workloads.scenarios import get_scenario
+
+        for name in AUTOSCALE_STUDY_SCENARIOS:
+            get_scenario(name)
+
+
+class TestRendering:
+    def test_render_marks_dominating_modes(self, results):
+        rows = autoscale_rows(results)
+        dominance = dominating_modes(results)
+        text = render_autoscale_study(rows, dominance=dominance)
+        assert "Autoscale study" in text
+        assert "scenario" in text and "prewarm" in text
+        for scenario, modes in dominance.items():
+            for mode in modes:
+                assert f"{mode} *" in text
+        assert "* strictly dominates the static row" in text
+
+    def test_render_without_dominance_has_no_markers(self, results):
+        text = render_autoscale_study(autoscale_rows(results))
+        assert "*" not in text

@@ -1,0 +1,240 @@
+"""Acceptance parity: autoscaled runs are byte-identical across every mode axis.
+
+The feedback loop observes live queues and injects prewarm events mid-run —
+new machinery the loop/index/metrics/workload refactors never exercised.
+These tests extend the parity matrices to adaptive runs: for identical
+``(scenario, autoscale spec, seed)`` the RunSummary must be byte-identical
+across
+
+* ``loop_mode`` fast vs. compat (the decision cadence rides the per-event
+  hook, which fires at identical points in both loops),
+* ``index_mode`` indexed vs. scan (resident counts and placement walk the
+  same state either way),
+* metrics retained vs. streaming, workload materialized vs. streaming,
+* engine ``n_jobs`` 1 vs. 4 and the spawn multiprocessing context.
+
+``TestAutoscaleActuallyBites`` guards against vacuous parity: on the study
+scenarios the controllers demonstrably change resident capacity and the
+run outcome, so the axes above are comparing runs in which the feedback
+loop genuinely fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.cluster.autoscale import Autoscaler, get_autoscale_spec
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.metrics import MetricsConfig
+from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_profile_store,
+    run_experiment,
+)
+
+AUTOSCALE_SPECS = ("threshold-default", "pid-default")
+SCENARIOS = ("diurnal-normal", "bursty-onoff-heavy")
+
+#: ``initial_warm="home"`` everywhere, for the same reason as the study:
+#: from the all-warm paper default no run ever cold-starts and prewarm
+#: policy would be unobservable.
+def _base(loop_mode: str) -> ExperimentConfig:
+    config = ExperimentConfig(num_requests=16, loop_mode=loop_mode)
+    return config.with_overrides(
+        controller=replace(config.controller, initial_warm="home")
+    )
+
+
+FAST = _base("fast")
+COMPAT = _base("compat")
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_profile_store()
+
+
+def assert_byte_identical(a, b) -> None:
+    assert asdict(a.summary) == asdict(b.summary)
+    assert a.summary == b.summary
+
+
+class TestAutoscaleLoopModeParity:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("spec_name", AUTOSCALE_SPECS)
+    def test_fast_vs_compat_byte_identical(self, store, spec_name, scenario):
+        fast = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(autoscale=spec_name),
+            profile_store=store,
+            scenario=scenario,
+        )
+        compat = run_experiment(
+            "ESG",
+            config=COMPAT.with_overrides(autoscale=spec_name),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert_byte_identical(fast, compat)
+
+
+class TestAutoscaleIndexModeParity:
+    @pytest.mark.parametrize("spec_name", AUTOSCALE_SPECS)
+    def test_indexed_vs_scan_byte_identical(self, store, spec_name):
+        indexed = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(autoscale=spec_name),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        scan = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(
+                autoscale=spec_name, cluster=ClusterConfig(index_mode="scan")
+            ),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        assert_byte_identical(indexed, scan)
+
+    def test_scan_compat_corner_matches_indexed_fast(self, store):
+        """The two extreme corners of the (loop, index) square agree for an
+        adaptive run: scan+compat (all-reference) vs. indexed+fast."""
+        reference = run_experiment(
+            "ESG",
+            config=COMPAT.with_overrides(
+                autoscale="threshold-default",
+                cluster=ClusterConfig(index_mode="scan"),
+            ),
+            profile_store=store,
+            scenario="bursty-onoff-heavy",
+        )
+        optimized = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(autoscale="threshold-default"),
+            profile_store=store,
+            scenario="bursty-onoff-heavy",
+        )
+        assert_byte_identical(optimized, reference)
+
+
+class TestAutoscaleMetricsAndWorkloadParity:
+    @pytest.mark.parametrize("spec_name", AUTOSCALE_SPECS)
+    def test_streaming_metrics_byte_identical(self, store, spec_name):
+        retained = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(autoscale=spec_name),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        streaming = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(
+                autoscale=spec_name, metrics=MetricsConfig(mode="streaming")
+            ),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        assert_byte_identical(retained, streaming)
+        assert streaming.metrics.is_streaming
+
+    def test_fully_streaming_matches_compat_materialized(self, store):
+        streamed = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(
+                autoscale="threshold-default",
+                workload_mode="streaming",
+                metrics=MetricsConfig(mode="streaming"),
+            ),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        materialized = run_experiment(
+            "ESG",
+            config=COMPAT.with_overrides(autoscale="threshold-default"),
+            profile_store=store,
+            scenario="diurnal-normal",
+        )
+        assert_byte_identical(streamed, materialized)
+        assert streamed.requests == []
+
+
+class TestAutoscaleEngineParity:
+    def _specs(self) -> list[RunSpec]:
+        return [
+            RunSpec(
+                policy="ESG",
+                scenario=scenario,
+                config=FAST.with_overrides(autoscale=spec_name),
+                label=f"{scenario}/{spec_name}",
+            )
+            for scenario in SCENARIOS
+            for spec_name in AUTOSCALE_SPECS
+        ]
+
+    def test_worker_fanout_matches_in_process(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs())
+        fanned_out = ExperimentEngine(n_jobs=4).run(self._specs())
+        for a, b in zip(in_process, fanned_out):
+            assert asdict(a.summary) == asdict(b.summary)
+
+    def test_spawn_context_reproduces_autoscaled_summaries(self):
+        in_process = ExperimentEngine(n_jobs=1).run(self._specs())
+        spawned = ExperimentEngine(n_jobs=2, mp_context="spawn").run(self._specs())
+        for a, b in zip(in_process, spawned):
+            assert asdict(a.summary) == asdict(b.summary)
+
+
+class TestAutoscaleActuallyBites:
+    """Non-vacuity guards: the parity axes above compare runs in which the
+    feedback loop demonstrably fired and changed the outcome."""
+
+    def test_threshold_changes_resident_capacity_on_diurnal(self, store):
+        from repro.cluster.controller import ControllerConfig
+        from repro.cluster.simulator import Simulation, SimulationConfig
+        from repro.experiments.runner import make_policy
+        from repro.workloads.scenarios import get_scenario
+
+        scenario = get_scenario("diurnal-normal")
+        # A 3-invoker cluster under 24 diurnal requests: the ramp builds a
+        # real backlog, so the high watermark demonstrably trips (on the
+        # amply-provisioned paper-16 testbed the controller correctly holds
+        # inside the band for the whole run — that is a decision, but not
+        # the one this guard needs to witness).
+        requests = scenario.build_requests(24, 42, store)
+        simulation = Simulation(
+            policy=make_policy("ESG"),
+            requests=requests,
+            profile_store=store,
+            config=SimulationConfig(
+                seed=42,
+                cluster=ClusterConfig(num_invokers=3),
+                controller=ControllerConfig(initial_warm="home"),
+            ),
+            setting_name=scenario.setting,
+        )
+        autoscaler = Autoscaler(spec=get_autoscale_spec("threshold-default")).attach(
+            simulation
+        )
+        simulation.run()
+        assert autoscaler.decisions > 0
+        assert autoscaler.actuations, "the diurnal run never actuated"
+        assert autoscaler.applied_up() > 0
+        # The static prewarmer was dethroned for the whole run.
+        assert simulation.controller.prewarmer.enabled is False
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_adaptive_summary_differs_from_static(self, store, scenario):
+        static = run_experiment(
+            "ESG", config=FAST, profile_store=store, scenario=scenario
+        )
+        adaptive = run_experiment(
+            "ESG",
+            config=FAST.with_overrides(autoscale="threshold-default"),
+            profile_store=store,
+            scenario=scenario,
+        )
+        assert asdict(adaptive.summary) != asdict(static.summary)
